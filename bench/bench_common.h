@@ -1,0 +1,118 @@
+#pragma once
+
+// Shared machinery for the figure/table reproduction benches. Every bench:
+//   * builds one or more ExperimentConfigs from the paper presets,
+//   * runs them,
+//   * prints the same rows/series the paper reports (as numbers plus
+//     terminal sparklines so the *shape* is visible at a glance),
+//   * optionally dumps raw CSV via --csv DIR, and
+//   * accepts --full to run at the paper's scale (70 000 clients, 180 s).
+
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.h"
+#include "experiment/report.h"
+
+namespace ntier::bench {
+
+using experiment::BenchOptions;
+using experiment::Experiment;
+using experiment::ExperimentConfig;
+using lb::MechanismKind;
+using lb::PolicyKind;
+using sim::SimTime;
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "==================================================================\n"
+            << id << ": " << title << "\n"
+            << "==================================================================\n";
+}
+
+inline std::unique_ptr<Experiment> run_experiment(ExperimentConfig cfg,
+                                                  bool announce = true) {
+  if (announce)
+    std::cout << "\n-- running " << experiment::describe(cfg) << "\n";
+  auto e = std::make_unique<Experiment>(std::move(cfg));
+  e->run();
+  return e;
+}
+
+/// The standard 4A/4T/1M environment with millibottlenecks on the Tomcats.
+inline ExperimentConfig cluster_config(const BenchOptions& opt,
+                                       PolicyKind policy, MechanismKind mech,
+                                       bool millibottlenecks = true) {
+  ExperimentConfig c = opt.apply(ExperimentConfig::scaled(0.1));
+  c.duration = opt.full ? SimTime::seconds(180) : SimTime::seconds(20);
+  c.policy = policy;
+  c.mechanism = mech;
+  c.tomcat_millibottlenecks = millibottlenecks;
+  return c;
+}
+
+/// First completed pdflush episode after warmup; returns false if none.
+inline bool first_flush(Experiment& e, int& tomcat, SimTime& start,
+                        SimTime& end) {
+  bool found = false;
+  for (int t = 0; t < e.num_tomcats(); ++t) {
+    for (const auto& [s, f] : e.flush_intervals(t)) {
+      if (s > e.config().warmup && f < e.config().duration &&
+          (!found || s < start)) {
+        tomcat = t;
+        start = s;
+        end = f;
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+/// Paper-style workload-distribution table: share of Apache-0 assignments
+/// per Tomcat in consecutive sub-windows of [t0, t1).
+inline void print_distribution(Experiment& e, SimTime t0, SimTime t1,
+                               SimTime step, int stalled = -1) {
+  std::cout << "  Apache1 workload distribution (assignments per "
+            << step.to_string() << " window";
+  if (stalled >= 0) std::cout << "; Tomcat" << stalled + 1 << " has the millibottleneck";
+  std::cout << "):\n  " << std::setw(12) << "window";
+  for (int t = 0; t < e.num_tomcats(); ++t)
+    std::cout << std::setw(10) << ("tomcat" + std::to_string(t + 1));
+  std::cout << "\n";
+  const auto& bal = e.apache(0).balancer();
+  for (SimTime w = t0; w < t1; w += step) {
+    std::cout << "  " << std::setw(7) << std::fixed << std::setprecision(2)
+              << w.to_seconds() << "s    ";
+    for (int t = 0; t < e.num_tomcats(); ++t) {
+      const auto counts = experiment::series_count(bal.assignment_trace(t),
+                                                   e.num_metric_windows());
+      const double n = experiment::sum_of(
+          experiment::slice(counts, e.config().metric_window, w, w + step));
+      std::cout << std::setw(10) << static_cast<std::int64_t>(n);
+    }
+    std::cout << "\n";
+  }
+}
+
+/// Dump aligned per-window series as CSV when --csv was given.
+inline void maybe_csv(const BenchOptions& opt, const std::string& file,
+                      SimTime window, const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& cols) {
+  if (opt.csv_dir.empty()) return;
+  std::filesystem::create_directories(opt.csv_dir);
+  const std::string path = opt.csv_dir + "/" + file;
+  experiment::write_series_csv(path, window, names, cols);
+  std::cout << "  [csv] " << path << "\n";
+}
+
+inline void paper_vs_measured(const std::string& what, const std::string& paper,
+                              const std::string& measured) {
+  std::cout << "  " << std::left << std::setw(42) << what
+            << " paper: " << std::setw(18) << paper << " measured: " << measured
+            << "\n";
+}
+
+}  // namespace ntier::bench

@@ -1,0 +1,61 @@
+// Extension: the paper's conclusion — "Other load balancers in N-tier
+// systems can take advantage of our remedies" — applied to the Tomcat→MySQL
+// connection layer. Two MySQL replicas, pdflush active on the DB nodes
+// (binlog/redo writes as dirty-page fuel), and the DB router run both ways:
+// the classic condvar pool + cumulative policy vs. current_load + fail-fast.
+#include "bench_common.h"
+
+using namespace ntier;
+using namespace ntier::bench;
+
+int main(int argc, char** argv) {
+  const auto opt = BenchOptions::parse(argc, argv);
+  header("Extension: DB-tier balancing",
+         "2 MySQL replicas with millibottlenecks; stock vs aware DB router");
+
+  auto base = [&] {
+    ExperimentConfig cfg = cluster_config(opt, PolicyKind::kCurrentLoad,
+                                          MechanismKind::kNonBlocking,
+                                          /*millibottlenecks=*/false);
+    cfg.num_mysql = 2;
+    cfg.mysql_millibottlenecks = true;
+    cfg.mysql.log_bytes_per_query = 1200;
+    cfg.db_router.pool_per_replica = 24;  // Table III's 48, split
+    cfg.tracing = false;
+    return cfg;
+  };
+
+  std::cout << "\n";
+  experiment::print_table1_header(std::cout);
+
+  auto stock_cfg = base();
+  stock_cfg.db_router.policy = PolicyKind::kTotalRequest;
+  stock_cfg.db_router.mechanism = MechanismKind::kQueueing;
+  auto stock = run_experiment(std::move(stock_cfg), false);
+  std::cout << stock->log().summary_row("DB router: total_request + queueing pool")
+            << "\n";
+
+  auto aware_cfg = base();
+  aware_cfg.db_router.policy = PolicyKind::kCurrentLoad;
+  aware_cfg.db_router.mechanism = MechanismKind::kNonBlocking;
+  auto aware = run_experiment(std::move(aware_cfg), false);
+  std::cout << aware->log().summary_row("DB router: current_load + fail-fast")
+            << "\n";
+
+  std::cout << "\nDB-side detail:\n";
+  for (auto* e : {stock.get(), aware.get()}) {
+    std::uint64_t errors = 0;
+    for (int t = 0; t < e->num_tomcats(); ++t)
+      errors += e->db_router(t).errors();
+    std::cout << "  replicas served " << e->mysql(0).queries_served() << " / "
+              << e->mysql(1).queries_served() << " queries, router errors "
+              << errors << ", mean RT " << e->log().mean_response_ms()
+              << " ms\n";
+  }
+  paper_vs_measured("remedies transfer to other balancers",
+                    "claimed (§VIII)",
+                    std::to_string(stock->log().mean_response_ms() /
+                                   aware->log().mean_response_ms()) +
+                        "x RT improvement");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4: frequency of requests by response time under total_request and
+// total_traffic. Expected shape: a large mass of fast requests plus three
+// distinct VLRT clusters near 1 s, 2 s and 3 s (TCP retransmission offsets).
+#include "bench_common.h"
+
+using namespace ntier;
+using namespace ntier::bench;
+
+int main(int argc, char** argv) {
+  const auto opt = BenchOptions::parse(argc, argv);
+  header("Figure 4", "frequency of requests by response time (VLRT clusters)");
+
+  for (const auto policy :
+       {PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic}) {
+    auto e = run_experiment(
+        cluster_config(opt, policy, MechanismKind::kBlocking));
+    const auto& h = e->log().histogram();
+
+    std::cout << "\n[" << lb::to_string(policy) << "] response-time histogram:\n";
+    std::vector<double> bars;
+    std::cout << "  bucket(ms)        count\n";
+    for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+      bars.push_back(static_cast<double>(h.bucket_count(b)));
+      if (h.bucket_count(b) == 0) continue;
+      if (h.bucket_lower(b) >= 400.0) {  // the long-tail region of Fig. 4
+        std::cout << "  " << std::fixed << std::setprecision(0) << std::setw(6)
+                  << h.bucket_lower(b) << "-" << std::setw(6)
+                  << h.bucket_upper(b) << "  " << h.bucket_count(b) << "\n";
+      }
+    }
+    experiment::print_panel(std::cout, "full histogram (log buckets)", bars);
+
+    auto cluster_count = [&](double center) {
+      std::int64_t n = 0;
+      for (std::size_t b = 0; b < h.num_buckets(); ++b)
+        if (h.bucket_lower(b) >= center * 0.85 && h.bucket_lower(b) <= center * 1.35)
+          n += h.bucket_count(b);
+      return n;
+    };
+    paper_vs_measured("cluster at ~1 s", "present",
+                      std::to_string(cluster_count(1000)) + " requests");
+    paper_vs_measured("cluster at ~2 s", "present",
+                      std::to_string(cluster_count(2000)) + " requests");
+    paper_vs_measured("cluster at ~3 s", "present",
+                      std::to_string(cluster_count(3000)) + " requests");
+  }
+  std::cout << "\n(clusters sit at the cumulative retransmission offsets of the\n"
+               " configured RTO schedule; see bench_ablation_sweeps --rto)\n";
+  return 0;
+}

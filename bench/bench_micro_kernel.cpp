@@ -1,0 +1,64 @@
+// Microbenchmarks of the simulator hot paths (google-benchmark): event
+// queue throughput, processor-sharing CPU churn, balancer decision latency,
+// and end-to-end simulated-seconds-per-wall-second of the full testbed.
+#include <benchmark/benchmark.h>
+
+#include "experiment/experiment.h"
+#include "lb/load_balancer.h"
+#include "os/cpu.h"
+#include "sim/simulation.h"
+
+using namespace ntier;
+
+static void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (int i = 0; i < 10'000; ++i)
+      s.after(sim::SimTime::micros(i), [] {});
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+static void BM_CpuProcessorSharing(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    os::CpuResource cpu(s, 4);
+    int done = 0;
+    for (int i = 0; i < jobs; ++i)
+      s.after(sim::SimTime::micros(13 * i),
+              [&] { cpu.submit(sim::SimTime::micros(500), [&] { ++done; }); });
+    s.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_CpuProcessorSharing)->Arg(100)->Arg(1000)->Arg(10000);
+
+static void BM_BalancerAssign(benchmark::State& state) {
+  sim::Simulation s;
+  lb::LoadBalancer bal(s, 4, lb::make_policy(lb::PolicyKind::kCurrentLoad),
+                       lb::make_acquirer(lb::MechanismKind::kNonBlocking), {});
+  auto req = std::make_shared<proto::Request>();
+  for (auto _ : state) {
+    bal.assign(req, [&](int idx) { bal.on_response(idx, req); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BalancerAssign);
+
+static void BM_FullTestbedSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    auto c = experiment::ExperimentConfig::scaled(0.1);
+    c.duration = sim::SimTime::seconds(1);
+    c.tracing = false;
+    experiment::Experiment e(std::move(c));
+    e.run();
+    benchmark::DoNotOptimize(e.log().completed());
+  }
+  state.SetLabel("1 simulated second @ 10k req/s");
+}
+BENCHMARK(BM_FullTestbedSimulatedSecond)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,108 @@
+// The simulation kernel's coroutine API: build a custom mini-testbed —
+// one balancer, four backend CPUs, a closed-loop client population — as
+// straight-line coroutine code instead of callback chains. A stall is
+// injected into backend 0 halfway through; watch the current_load policy
+// route around it.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "lb/load_balancer.h"
+#include "millib/injector.h"
+#include "os/cpu.h"
+#include "sim/process.h"
+
+using namespace ntier;
+using sim::SimTime;
+
+namespace {
+
+struct MiniCluster {
+  explicit MiniCluster(sim::Simulation& s) : simu(s) {
+    for (int i = 0; i < 4; ++i)
+      cpus.push_back(std::make_unique<os::CpuResource>(s, 1));
+    balancer = std::make_unique<lb::LoadBalancer>(
+        s, 4, lb::make_policy(lb::PolicyKind::kCurrentLoad),
+        lb::make_acquirer(lb::MechanismKind::kNonBlocking),
+        lb::BalancerConfig{});
+  }
+
+  sim::Simulation& simu;
+  std::vector<std::unique_ptr<os::CpuResource>> cpus;
+  std::unique_ptr<lb::LoadBalancer> balancer;
+  std::vector<int> served = std::vector<int>(4, 0);
+  int errors = 0;
+};
+
+/// One closed-loop client as a coroutine: think, pick a backend through the
+/// balancer, run 2 ms of work on it, repeat.
+sim::Process client(MiniCluster& cluster, sim::Rng rng) {
+  for (;;) {
+    co_await sim::delay(cluster.simu,
+                        rng.exponential_time(SimTime::millis(20)));
+
+    auto req = std::make_shared<proto::Request>();
+    sim::Completion<int> assigned;
+    cluster.balancer->assign(req, assigned.callback());
+    const int backend = co_await assigned;
+    if (backend < 0) {
+      ++cluster.errors;
+      continue;
+    }
+
+    sim::Completion<void> done;
+    cluster.cpus[static_cast<std::size_t>(backend)]->submit(SimTime::millis(2),
+                                                            done.callback());
+    co_await done;
+    cluster.balancer->on_response(backend, req);
+    ++cluster.served[static_cast<std::size_t>(backend)];
+  }
+}
+
+/// The reporter is a process too: print shares once a second.
+sim::Process reporter(MiniCluster& cluster) {
+  std::vector<int> last(4, 0);
+  for (;;) {
+    co_await sim::delay(cluster.simu, SimTime::seconds(1));
+    std::cout << "  t=" << std::setw(2) << cluster.simu.now().to_seconds()
+              << "s  served/s:";
+    for (int b = 0; b < 4; ++b) {
+      std::cout << "  cpu" << b << "="
+                << cluster.served[static_cast<std::size_t>(b)] -
+                       last[static_cast<std::size_t>(b)];
+      last[static_cast<std::size_t>(b)] =
+          cluster.served[static_cast<std::size_t>(b)];
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation simu(7);
+  MiniCluster cluster(simu);
+
+  std::cout << "coroutine mini-cluster: 40 clients, 4 backends, current_load\n"
+            << "backend 0 stalls from 4s to 6s (injected millibottleneck)\n\n";
+
+  for (int c = 0; c < 40; ++c) client(cluster, simu.rng().fork());
+  reporter(cluster);
+
+  millib::InjectorConfig stall;
+  stall.initial_offset = SimTime::seconds(4);
+  stall.duration = SimTime::seconds(2);
+  stall.severity = 1.0;
+  stall.max_episodes = 1;
+  millib::CapacityStallInjector injector(simu, *cluster.cpus[0], stall);
+
+  simu.run_until(SimTime::seconds(10));
+
+  std::cout << "\ntotals:";
+  for (int b = 0; b < 4; ++b)
+    std::cout << "  cpu" << b << "=" << cluster.served[static_cast<std::size_t>(b)];
+  std::cout << "  errors=" << cluster.errors << "\n"
+            << "\n(backend 0's share collapses during the stall and recovers\n"
+            << " after — ~15 lines of coroutine code per actor, no callbacks)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Where does the time go? Runs the stock (unstable) and remedied
+// configurations with full request records and prints the per-hop latency
+// breakdown: under millibottlenecks the *front* of the path (SYN
+// retransmissions, workers parked in get_endpoint) dwarfs the backend work
+// — the amplification the paper attributes to the scheduling instability,
+// seen from inside a single request.
+#include <iostream>
+
+#include "experiment/experiment.h"
+#include "metrics/breakdown.h"
+
+using namespace ntier;
+
+namespace {
+
+void run_and_print(const char* title, lb::PolicyKind policy,
+                   lb::MechanismKind mech) {
+  experiment::ExperimentConfig cfg = experiment::ExperimentConfig::scaled(0.1);
+  cfg.duration = sim::SimTime::seconds(15);
+  cfg.policy = policy;
+  cfg.mechanism = mech;
+  cfg.keep_records = true;
+  cfg.tracing = false;
+  experiment::Experiment e(cfg);
+  e.run();
+
+  metrics::LatencyBreakdown breakdown;
+  breakdown.add_all(e.log().records());
+  std::cout << "[" << title << "]  mean RT " << e.log().mean_response_ms()
+            << " ms\n";
+  breakdown.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Per-hop latency decomposition, millibottlenecks present\n\n";
+  run_and_print("stock: total_request + blocking get_endpoint",
+                lb::PolicyKind::kTotalRequest, lb::MechanismKind::kBlocking);
+  run_and_print("remedy: current_load + modified get_endpoint",
+                lb::PolicyKind::kCurrentLoad, lb::MechanismKind::kNonBlocking);
+  std::cout << "(the backend segment barely moves between the two runs; the\n"
+               " entire degradation lives in connect + balancing — the\n"
+               " scheduling instability, not the millibottleneck itself)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run every reproduction/ablation/extension bench and collect the output.
+#
+#   scripts/run_all_benches.sh [--full] [output-file]
+#
+# --full runs the paper-scale (70 000 clients, 180 s) configurations.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FLAG=""
+OUT="bench_output.txt"
+for arg in "$@"; do
+  case "$arg" in
+    --full) FLAG="--full" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+if [ ! -d build/bench ]; then
+  echo "build first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+: > "$OUT"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b") $FLAG" | tee -a "$OUT"
+  if [[ "$(basename "$b")" == bench_micro_kernel ]]; then
+    "$b" --benchmark_min_time=0.2 2>&1 | tee -a "$OUT"
+  else
+    "$b" $FLAG 2>&1 | tee -a "$OUT"
+  fi
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,333 @@
+#include "cli/cli.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "experiment/experiment.h"
+#include "experiment/report.h"
+#include "experiment/summary.h"
+#include "workload/trace.h"
+
+namespace ntier::cli {
+
+namespace {
+
+bool parse_int(const std::string& s, long long& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::optional<lb::PolicyKind> parse_policy(const std::string& s) {
+  using lb::PolicyKind;
+  if (s == "total_request") return PolicyKind::kTotalRequest;
+  if (s == "total_traffic") return PolicyKind::kTotalTraffic;
+  if (s == "current_load") return PolicyKind::kCurrentLoad;
+  if (s == "sessions") return PolicyKind::kSessions;
+  if (s == "round_robin") return PolicyKind::kRoundRobin;
+  if (s == "random") return PolicyKind::kRandom;
+  if (s == "two_choices") return PolicyKind::kTwoChoices;
+  return std::nullopt;
+}
+
+std::optional<lb::MechanismKind> parse_mechanism(const std::string& s) {
+  using lb::MechanismKind;
+  if (s == "blocking") return MechanismKind::kBlocking;
+  if (s == "modified" || s == "non_blocking") return MechanismKind::kNonBlocking;
+  return std::nullopt;
+}
+
+std::optional<experiment::StallSource> parse_source(const std::string& s) {
+  using experiment::StallSource;
+  if (s == "pdflush") return StallSource::kPdflush;
+  if (s == "gc") return StallSource::kGcPause;
+  if (s == "dvfs") return StallSource::kDvfs;
+  if (s == "vm") return StallSource::kVmConsolidation;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  return R"(ntier_run — n-tier millibottleneck load-balancing simulator
+
+usage: ntier_run [flags]
+
+topology / scale
+  --full                 paper scale (70 000 clients, 180 s)
+  --clients N            closed-loop client count     (default 7000)
+  --think-ms X           mean think time in ms        (default 700)
+  --duration-s X         simulated seconds            (default 60)
+  --apaches N            web servers                  (default 4)
+  --tomcats N            application servers          (default 4)
+  --mysql N              database replicas            (default 1)
+  --seed N               RNG seed                     (default 42)
+
+policy & mechanism under test
+  --policy P             total_request | total_traffic | current_load |
+                         sessions | round_robin | random | two_choices
+  --mechanism M          blocking | modified
+  --sticky               enable sticky sessions
+  --db-policy P          replica-selection policy for the DB router
+  --db-mechanism M       blocking | modified | (default queueing pool)
+
+millibottleneck environment
+  --no-millibottlenecks  pristine environment (Fig. 1 baseline)
+  --stall-source S       pdflush | gc | dvfs | vm
+  --bursty X             bursty arrivals with multiplier X
+  --mix M                read_write | browse_only
+
+traces
+  --record-trace FILE    save the run's arrival trace (CSV)
+  --replay-trace FILE    drive the run open-loop from a saved trace
+                         (replaces the closed-loop clients)
+
+output
+  --json FILE            write the run summary as JSON
+  --csv DIR              dump tier queue/VLRT series as CSV
+  --quiet                suppress the human-readable report
+  --help                 this text
+)";
+}
+
+ParseResult parse_cli(const std::vector<std::string>& args) {
+  CliOptions o;
+  o.config = experiment::ExperimentConfig::scaled(0.1);
+  o.config.label = "ntier_run";
+
+  auto fail = [](const std::string& msg) {
+    ParseResult r;
+    r.error = msg;
+    return r;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](std::string& out) {
+      if (i + 1 >= args.size()) return false;
+      out = args[++i];
+      return true;
+    };
+    std::string v;
+    long long n = 0;
+    double x = 0;
+
+    if (a == "--help" || a == "-h") {
+      o.help = true;
+    } else if (a == "--full") {
+      const auto paper = experiment::ExperimentConfig::paper_scale();
+      o.config.num_clients = paper.num_clients;
+      o.config.think_mean = paper.think_mean;
+      o.config.duration = paper.duration;
+      o.config.warmup = paper.warmup;
+    } else if (a == "--clients") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --clients");
+      o.config.num_clients = static_cast<int>(n);
+    } else if (a == "--think-ms") {
+      if (!value(v) || !parse_double(v, x) || x <= 0) return fail("bad --think-ms");
+      o.config.think_mean = sim::SimTime::from_millis(x);
+    } else if (a == "--duration-s") {
+      if (!value(v) || !parse_double(v, x) || x <= 0) return fail("bad --duration-s");
+      o.config.duration = sim::SimTime::from_seconds(x);
+    } else if (a == "--apaches") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --apaches");
+      o.config.num_apaches = static_cast<int>(n);
+    } else if (a == "--tomcats") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --tomcats");
+      o.config.num_tomcats = static_cast<int>(n);
+    } else if (a == "--mysql") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --mysql");
+      o.config.num_mysql = static_cast<int>(n);
+    } else if (a == "--seed") {
+      if (!value(v) || !parse_int(v, n) || n < 0) return fail("bad --seed");
+      o.config.seed = static_cast<std::uint64_t>(n);
+    } else if (a == "--policy") {
+      if (!value(v)) return fail("missing --policy value");
+      const auto p = parse_policy(v);
+      if (!p) return fail("unknown policy: " + v);
+      o.config.policy = *p;
+    } else if (a == "--mechanism") {
+      if (!value(v)) return fail("missing --mechanism value");
+      const auto m = parse_mechanism(v);
+      if (!m) return fail("unknown mechanism: " + v);
+      o.config.mechanism = *m;
+    } else if (a == "--db-policy") {
+      if (!value(v)) return fail("missing --db-policy value");
+      const auto p = parse_policy(v);
+      if (!p) return fail("unknown db policy: " + v);
+      o.config.db_router.policy = *p;
+    } else if (a == "--db-mechanism") {
+      if (!value(v)) return fail("missing --db-mechanism value");
+      const auto m = parse_mechanism(v);
+      if (!m) return fail("unknown db mechanism: " + v);
+      o.config.db_router.mechanism = *m;
+    } else if (a == "--sticky") {
+      o.config.sticky_sessions = true;
+    } else if (a == "--no-millibottlenecks") {
+      o.config.tomcat_millibottlenecks = false;
+    } else if (a == "--stall-source") {
+      if (!value(v)) return fail("missing --stall-source value");
+      const auto src = parse_source(v);
+      if (!src) return fail("unknown stall source: " + v);
+      o.config.tomcat_stall_source = *src;
+    } else if (a == "--bursty") {
+      if (!value(v) || !parse_double(v, x) || x < 1.0) return fail("bad --bursty");
+      o.config.bursty_workload = true;
+      o.config.burst_multiplier = x;
+    } else if (a == "--mix") {
+      if (!value(v)) return fail("missing --mix value");
+      if (v == "read_write")
+        o.config.workload.mix = workload::Mix::kReadWrite;
+      else if (v == "browse_only")
+        o.config.workload.mix = workload::Mix::kBrowseOnly;
+      else
+        return fail("unknown mix: " + v);
+    } else if (a == "--record-trace") {
+      if (!value(o.record_trace_path)) return fail("missing --record-trace value");
+    } else if (a == "--replay-trace") {
+      if (!value(o.replay_trace_path)) return fail("missing --replay-trace value");
+    } else if (a == "--json") {
+      if (!value(o.json_path)) return fail("missing --json value");
+    } else if (a == "--csv") {
+      if (!value(o.csv_dir)) return fail("missing --csv value");
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else {
+      return fail("unknown flag: " + a);
+    }
+  }
+  ParseResult r;
+  r.options = std::move(o);
+  return r;
+}
+
+ParseResult parse_cli(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse_cli(args);
+}
+
+int run_cli(const CliOptions& options) {
+  if (options.help) {
+    std::cout << usage_text();
+    return 0;
+  }
+  experiment::ExperimentConfig cfg = options.config;
+  const bool replay = !options.replay_trace_path.empty();
+
+  std::optional<workload::ArrivalTrace> trace;
+  if (replay) {
+    std::ifstream f(options.replay_trace_path);
+    if (!f) {
+      std::cerr << "cannot read " << options.replay_trace_path << "\n";
+      return 1;
+    }
+    trace = workload::ArrivalTrace::load(f);
+    // Idle the closed loop; the replayer drives the load.
+    cfg.num_clients = 1;
+    cfg.think_mean = sim::SimTime::seconds(1'000'000);
+    cfg.label += "_replay";
+  }
+
+  if (!options.quiet)
+    std::cout << "running " << experiment::describe(cfg) << "\n";
+  experiment::Experiment e(std::move(cfg));
+
+  workload::ArrivalTrace recorded;
+  if (!options.record_trace_path.empty() && !replay) {
+    e.mutable_clients().set_issue_hook(
+        [&recorded](sim::SimTime at, std::uint16_t client,
+                    std::uint16_t interaction) {
+          recorded.add(at, client, interaction);
+        });
+  }
+
+  workload::RubbosWorkload replay_workload(e.config().workload);
+  std::unique_ptr<metrics::RequestLog> replay_log;
+  std::unique_ptr<workload::TraceReplayer> replayer;
+  if (replay) {
+    replay_log = std::make_unique<metrics::RequestLog>(
+        e.config().metric_window);
+    std::vector<proto::FrontEnd*> fes;
+    for (int a = 0; a < e.num_apaches(); ++a) fes.push_back(&e.apache(a));
+    replayer = std::make_unique<workload::TraceReplayer>(
+        e.simulation(), *trace, replay_workload, fes, *replay_log,
+        e.config().retransmit, e.config().link_latency);
+    replayer->start();
+  }
+
+  e.run();
+
+  const metrics::RequestLog& log = replay ? *replay_log : e.log();
+  auto summary = experiment::summarize(e);
+  if (replay) {
+    summary.completed = log.completed();
+    summary.mean_rt_ms = log.mean_response_ms();
+    summary.p50_ms = log.percentile_ms(50);
+    summary.p99_ms = log.percentile_ms(99);
+    summary.p999_ms = log.percentile_ms(99.9);
+    summary.vlrt_fraction = log.vlrt_fraction();
+    summary.normal_fraction = log.normal_fraction();
+    summary.dropped = replayer->dropped();
+    summary.balancer_errors = replayer->failed();
+    summary.connection_drops = replayer->connection_drops();
+  }
+
+  if (!options.quiet) {
+    experiment::print_table1_header(std::cout);
+    std::cout << log.summary_row(summary.policy + " + " + summary.mechanism +
+                                 (replay ? " (trace replay)" : ""))
+              << "\n\n";
+    experiment::print_panel(std::cout, "tomcat tier queue", e.tomcat_tier_queue());
+    experiment::print_panel(std::cout, "apache tier queue", e.apache_tier_queue());
+    std::cout << "p99 " << summary.p99_ms << " ms, p99.9 " << summary.p999_ms
+              << " ms, drops " << summary.connection_drops << ", 503s "
+              << summary.balancer_errors << "\n";
+  }
+  if (!options.record_trace_path.empty() && !replay) {
+    std::ofstream f(options.record_trace_path);
+    if (!f) {
+      std::cerr << "cannot write " << options.record_trace_path << "\n";
+      return 1;
+    }
+    recorded.save(f);
+    if (!options.quiet)
+      std::cout << "recorded " << recorded.size() << " arrivals to "
+                << options.record_trace_path << "\n";
+  }
+  if (!options.json_path.empty()) {
+    std::ofstream f(options.json_path);
+    if (!f) {
+      std::cerr << "cannot write " << options.json_path << "\n";
+      return 1;
+    }
+    summary.to_json(f);
+  }
+  if (!options.csv_dir.empty()) {
+    std::filesystem::create_directories(options.csv_dir);
+    experiment::write_series_csv(
+        options.csv_dir + "/tier_queues.csv", e.config().metric_window,
+        {"apache", "tomcat", "mysql"},
+        {e.apache_tier_queue(), e.tomcat_tier_queue(), e.mysql_tier_queue()});
+    experiment::write_series_csv(
+        options.csv_dir + "/vlrt.csv", e.config().metric_window, {"vlrt"},
+        {experiment::series_count(e.log().vlrt_series(),
+                                  e.num_metric_windows())});
+  }
+  return 0;
+}
+
+}  // namespace ntier::cli

@@ -1,0 +1,71 @@
+#include "experiment/config.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ntier::experiment {
+
+std::string to_string(StallSource s) {
+  switch (s) {
+    case StallSource::kPdflush: return "pdflush";
+    case StallSource::kGcPause: return "gc_pause";
+    case StallSource::kDvfs: return "dvfs";
+    case StallSource::kVmConsolidation: return "vm_consolidation";
+  }
+  return "?";
+}
+
+ExperimentConfig ExperimentConfig::paper_scale() {
+  ExperimentConfig c;
+  c.label = "paper_scale";
+  c.num_clients = 70'000;
+  c.think_mean = sim::SimTime::seconds(7);
+  c.duration = sim::SimTime::seconds(180);
+  c.warmup = sim::SimTime::seconds(10);
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::scaled(double factor) {
+  ExperimentConfig c;
+  c.label = "scaled";
+  // Keep clients/think constant => identical offered load and identical
+  // per-server dynamics, with factor× less client-state to simulate.
+  c.num_clients = static_cast<int>(std::lround(70'000 * factor));
+  c.think_mean = sim::SimTime::from_seconds(7.0 * factor);
+  c.duration = sim::SimTime::seconds(60);
+  c.warmup = sim::SimTime::seconds(3);
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::single_node(double factor) {
+  ExperimentConfig c = scaled(factor);
+  c.label = "single_node";
+  c.num_apaches = 1;
+  c.num_tomcats = 1;
+  // One Tomcat serves what a quarter of the cluster would.
+  c.num_clients /= 4;
+  c.apache_millibottlenecks = true;
+  c.tomcat_millibottlenecks = true;
+  return c;
+}
+
+std::string describe(const ExperimentConfig& c) {
+  std::ostringstream os;
+  os << c.label << ": " << c.num_apaches << "A/" << c.num_tomcats << "T/1M, "
+     << c.num_clients << " clients, think "
+     << c.think_mean.to_string() << " (" << static_cast<int>(c.offered_rps())
+     << " req/s), " << c.duration.to_string() << ", policy="
+     << lb::to_string(c.policy) << ", mechanism=" << lb::to_string(c.mechanism)
+     << ", millibottlenecks="
+     << (c.tomcat_millibottlenecks
+             ? "tomcat(" + to_string(c.tomcat_stall_source) + ")"
+             : "none")
+     << (c.apache_millibottlenecks ? "+apache" : "")
+     << (c.mysql_millibottlenecks ? "+mysql" : "");
+  if (c.num_mysql > 1) os << ", " << c.num_mysql << " DB replicas";
+  if (c.sticky_sessions) os << ", sticky";
+  if (c.bursty_workload) os << ", bursty";
+  return os.str();
+}
+
+}  // namespace ntier::experiment

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lb/endpoint.h"
+#include "lb/load_balancer.h"
+#include "lb/policy.h"
+#include "millib/injector.h"
+#include "net/retransmit.h"
+#include "os/node.h"
+#include "server/apache_server.h"
+#include "server/db_router.h"
+#include "server/mysql_server.h"
+#include "server/tomcat_server.h"
+#include "sim/time.h"
+#include "workload/client.h"
+#include "workload/rubbos.h"
+
+namespace ntier::experiment {
+
+/// What creates the transient stalls on the Tomcat nodes. The paper's
+/// organic cause is pdflush; the others reproduce §III-A's list of causes
+/// (JVM garbage collection, DVFS, VM consolidation) via injectors.
+enum class StallSource {
+  kPdflush,
+  kGcPause,
+  kDvfs,
+  kVmConsolidation,
+};
+
+std::string to_string(StallSource s);
+
+/// Full description of one run: topology, workload, policy/mechanism combo,
+/// and the millibottleneck environment. Presets reproduce the paper's
+/// configurations.
+struct ExperimentConfig {
+  std::string label = "experiment";
+  std::uint64_t seed = 42;
+
+  // -- topology ---------------------------------------------------------------
+  int num_apaches = 4;
+  int num_tomcats = 4;
+  int num_mysql = 1;
+
+  // -- workload ---------------------------------------------------------------
+  workload::WorkloadParams workload;
+  int num_clients = 7'000;
+  sim::SimTime think_mean = sim::SimTime::millis(700);
+  sim::SimTime duration = sim::SimTime::seconds(60);
+  sim::SimTime warmup = sim::SimTime::seconds(3);
+  net::RetransmitSchedule retransmit;
+  sim::SimTime link_latency = sim::SimTime::micros(100);
+
+  // -- policy & mechanism under test -------------------------------------------
+  lb::PolicyKind policy = lb::PolicyKind::kTotalRequest;
+  lb::MechanismKind mechanism = lb::MechanismKind::kBlocking;
+  lb::BalancerConfig balancer;
+  /// Per-Tomcat lbfactor weights (empty = homogeneous).
+  std::vector<double> tomcat_weights;
+  /// Clients keep a jvmRoute after their first interaction and the
+  /// balancers honour it (mod_jk sticky sessions).
+  bool sticky_sessions = false;
+
+  // -- servers ------------------------------------------------------------------
+  server::ApacheConfig apache;
+  server::TomcatConfig tomcat;
+  server::MySqlConfig mysql;
+  server::DbRouterConfig db_router;
+
+  // -- nodes & millibottleneck environment --------------------------------------
+  int cores = 4;
+  /// Effective writeback bandwidth of the 7200-rpm SATA data disk. Log
+  /// writeback is scattered small blocks, so the effective rate sits well
+  /// below the sequential maximum; 60 MB/s yields the paper's
+  /// hundreds-of-milliseconds flush stalls at this log volume (calibrated
+  /// against Table I's VLRT fractions).
+  double disk_bytes_per_second = 60.0 * (1 << 20);
+  /// pdflush active on the Tomcat nodes (the paper's organic millibottleneck
+  /// source). Disable to reproduce the "millibottlenecks eliminated"
+  /// baseline (Fig. 1).
+  bool tomcat_millibottlenecks = true;
+  /// What produces the Tomcat-side stalls when enabled (§III-A's causes).
+  StallSource tomcat_stall_source = StallSource::kPdflush;
+  /// Injector profile for the non-pdflush sources (period/duration/severity).
+  millib::InjectorConfig injector = millib::gc_pause_profile();
+  /// Foreground dirty throttle on the Tomcat nodes (Linux dirty_ratio in
+  /// bytes; 0 = disabled). When tripped, servlet threads park in their log
+  /// writes — thread starvation instead of (or on top of) the iowait stall.
+  std::uint64_t tomcat_dirty_throttle_bytes = 0;
+  /// pdflush active on the MySQL node(s) — used by the DB-tier extension
+  /// experiments (replica suffering millibottlenecks).
+  bool mysql_millibottlenecks = false;
+  os::PdflushConfig mysql_pdflush;
+  /// Bursty arrivals (another §III-A cause): the client population
+  /// alternates normal/burst phases (see ClientParams).
+  bool bursty_workload = false;
+  double burst_multiplier = 4.0;
+  /// pdflush active on the Apache nodes (only the single-node anatomy
+  /// experiment, Fig. 2, leaves these on).
+  bool apache_millibottlenecks = false;
+  os::PdflushConfig tomcat_pdflush;  // interval/threshold/severity knobs
+  os::PdflushConfig apache_pdflush;
+  /// First-wakeup offset between consecutive Tomcat nodes, so flushes do not
+  /// line up across the tier (paper: one Tomcat at a time; its Fig. 2(a)
+  /// shows bottleneck episodes recurring ≈1 s apart). With ≈1.1 s between
+  /// consecutive Tomcats' stalls, a retransmitted SYN can collide with the
+  /// *next* Tomcat's millibottleneck — the source of the 2 s/3 s VLRT
+  /// clusters in Fig. 4.
+  sim::SimTime pdflush_stagger = sim::SimTime::millis(1100);
+
+  // -- metrics -------------------------------------------------------------------
+  sim::SimTime metric_window = sim::SimTime::millis(50);
+  /// Enable lb_value/committed/assignment traces and CPU/iowait samplers.
+  bool tracing = true;
+  /// Keep every RequestRecord (needed only when dumping raw CSV).
+  bool keep_records = false;
+
+  /// Offered load in requests/second (clients / think time).
+  double offered_rps() const {
+    return static_cast<double>(num_clients) / think_mean.to_seconds();
+  }
+
+  /// The paper's operating point: 70 000 clients, 7 s mean think time,
+  /// ≈180 s of traffic (≈1.8 M requests), 4 Apaches / 4 Tomcats / 1 MySQL.
+  static ExperimentConfig paper_scale();
+
+  /// Same offered load with `factor`× fewer clients thinking `factor`× less
+  /// — the quick mode used by tests and default bench runs.
+  static ExperimentConfig scaled(double factor = 0.1);
+
+  /// The single-node anatomy setup of Fig. 2: 1 Apache, 1 Tomcat, 1 MySQL,
+  /// millibottlenecks on both Apache and Tomcat, no balancing choice.
+  static ExperimentConfig single_node(double factor = 0.1);
+};
+
+std::string describe(const ExperimentConfig& c);
+
+}  // namespace ntier::experiment

@@ -1,0 +1,246 @@
+#include "experiment/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntier::experiment {
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      workload_(config_.workload),
+      log_(config_.metric_window, config_.keep_records) {
+  build();
+}
+
+Experiment::~Experiment() = default;
+
+std::unique_ptr<os::Node> Experiment::make_node(const std::string& name,
+                                                bool millibottlenecks,
+                                                os::PdflushConfig pdflush,
+                                                int index,
+                                                std::uint64_t throttle_bytes) {
+  os::NodeConfig nc;
+  nc.name = name;
+  nc.cores = config_.cores;
+  nc.disk_bytes_per_second = config_.disk_bytes_per_second;
+  nc.pdflush = pdflush;
+  nc.pdflush.enabled = millibottlenecks;
+  nc.pdflush.initial_offset =
+      config_.pdflush_stagger * static_cast<std::int64_t>(index);
+  nc.dirty_throttle_bytes = throttle_bytes;
+  return std::make_unique<os::Node>(sim_, nc);
+}
+
+void Experiment::build() {
+  // -- nodes -------------------------------------------------------------------
+  for (int i = 0; i < config_.num_apaches; ++i)
+    apache_nodes_.push_back(make_node("apache" + std::to_string(i + 1),
+                                      config_.apache_millibottlenecks,
+                                      config_.apache_pdflush, i));
+  const bool tomcat_pdflush =
+      config_.tomcat_millibottlenecks &&
+      config_.tomcat_stall_source == StallSource::kPdflush;
+  for (int i = 0; i < config_.num_tomcats; ++i)
+    tomcat_nodes_.push_back(make_node("tomcat" + std::to_string(i + 1),
+                                      tomcat_pdflush, config_.tomcat_pdflush,
+                                      i, config_.tomcat_dirty_throttle_bytes));
+  for (int i = 0; i < config_.num_mysql; ++i)
+    mysql_nodes_.push_back(make_node("mysql" + std::to_string(i + 1),
+                                     config_.mysql_millibottlenecks,
+                                     config_.mysql_pdflush, i));
+
+  // Synthetic stall sources (§III-A's non-pdflush causes), staggered the
+  // same way the pdflush wakeups are.
+  if (config_.tomcat_millibottlenecks &&
+      config_.tomcat_stall_source != StallSource::kPdflush) {
+    for (int i = 0; i < config_.num_tomcats; ++i) {
+      millib::InjectorConfig ic = config_.injector;
+      ic.initial_offset =
+          ic.initial_offset +
+          config_.pdflush_stagger * static_cast<std::int64_t>(i);
+      injectors_.push_back(std::make_unique<millib::CapacityStallInjector>(
+          sim_, tomcat_nodes_[static_cast<std::size_t>(i)]->cpu(), ic,
+          to_string(config_.tomcat_stall_source)));
+    }
+  }
+
+  // -- servers -----------------------------------------------------------------
+  for (int i = 0; i < config_.num_mysql; ++i)
+    mysqls_.push_back(std::make_unique<server::MySqlServer>(
+        sim_, *mysql_nodes_[static_cast<std::size_t>(i)], config_.mysql,
+        config_.metric_window));
+
+  std::vector<server::MySqlServer*> replica_ptrs;
+  for (auto& m : mysqls_) replica_ptrs.push_back(m.get());
+
+  for (int i = 0; i < config_.num_tomcats; ++i) {
+    server::DbRouterConfig dc = config_.db_router;
+    dc.link_latency = config_.link_latency;
+    db_routers_.push_back(
+        std::make_unique<server::DbRouter>(sim_, replica_ptrs, dc));
+    tomcats_.push_back(std::make_unique<server::TomcatServer>(
+        sim_, *tomcat_nodes_[static_cast<std::size_t>(i)], i, *db_routers_.back(),
+        config_.tomcat, config_.metric_window));
+  }
+
+  std::vector<server::TomcatServer*> tomcat_ptrs;
+  for (auto& t : tomcats_) tomcat_ptrs.push_back(t.get());
+
+  for (int i = 0; i < config_.num_apaches; ++i) {
+    server::ApacheConfig ac = config_.apache;
+    ac.link_latency = config_.link_latency;
+    lb::BalancerConfig bc = config_.balancer;
+    bc.worker_weights = config_.tomcat_weights;
+    if (config_.sticky_sessions) bc.sticky_sessions = true;
+    auto apache = std::make_unique<server::ApacheServer>(
+        sim_, *apache_nodes_[static_cast<std::size_t>(i)], i, tomcat_ptrs,
+        lb::make_policy(config_.policy),
+        lb::make_acquirer(config_.mechanism, bc.blocking), bc, ac,
+        config_.metric_window);
+    if (config_.tracing) apache->balancer().enable_tracing(config_.metric_window);
+    apaches_.push_back(std::move(apache));
+  }
+
+  // -- clients -----------------------------------------------------------------
+  workload::ClientParams cp;
+  cp.num_clients = config_.num_clients;
+  cp.think_mean = config_.think_mean;
+  cp.ramp = config_.think_mean;
+  cp.warmup = config_.warmup;
+  cp.retransmit = config_.retransmit;
+  cp.link_latency = config_.link_latency;
+  cp.sticky_sessions = config_.sticky_sessions;
+  cp.bursty = config_.bursty_workload;
+  cp.burst_multiplier = config_.burst_multiplier;
+  std::vector<proto::FrontEnd*> fes;
+  for (auto& a : apaches_) fes.push_back(a.get());
+  clients_ = std::make_unique<workload::ClientPopulation>(sim_, cp, workload_,
+                                                          fes, log_);
+
+  // -- samplers ------------------------------------------------------------------
+  if (config_.tracing) {
+    for (auto& n : apache_nodes_)
+      apache_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window,
+          [node = n.get()] { return node->cpu().probe_utilisation().combined(); }));
+    for (auto& n : tomcat_nodes_) {
+      tomcat_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window,
+          [node = n.get()] { return node->cpu().probe_utilisation().combined(); }));
+      tomcat_iowait_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window,
+          [node = n.get()] { return node->disk().probe_busy_fraction(); }));
+    }
+    for (auto& n : mysql_nodes_)
+      mysql_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window, [node = n.get()] {
+            return node->cpu().probe_utilisation().combined();
+          }));
+  }
+}
+
+void Experiment::run() {
+  if (ran_) throw std::logic_error("Experiment::run called twice");
+  ran_ = true;
+  clients_->start();
+  sim_.run_until(config_.duration);
+  for (auto& a : apaches_) {
+    a->finish_traces();
+    a->balancer().finish_traces();
+  }
+  for (auto& t : tomcats_) t->finish_traces();
+  for (auto& m : mysqls_) m->finish_traces();
+  for (auto& n : tomcat_nodes_) n->page_cache().finish_trace();
+  for (auto& n : apache_nodes_) n->page_cache().finish_trace();
+  for (auto& n : mysql_nodes_) n->page_cache().finish_trace();
+}
+
+std::size_t Experiment::num_metric_windows() const {
+  return static_cast<std::size_t>(config_.duration.ns() /
+                                  config_.metric_window.ns());
+}
+
+namespace {
+void add_gauge_max(std::vector<double>& acc, const metrics::GaugeSeries& g) {
+  for (std::size_t w = 0; w < acc.size(); ++w) acc[w] += g.max(w);
+}
+}  // namespace
+
+std::vector<double> Experiment::apache_tier_queue() const {
+  std::vector<double> acc(num_metric_windows(), 0.0);
+  for (const auto& a : apaches_) add_gauge_max(acc, a->queue_trace());
+  return acc;
+}
+
+std::vector<double> Experiment::tomcat_tier_queue() const {
+  std::vector<double> acc(num_metric_windows(), 0.0);
+  for (int t = 0; t < num_tomcats(); ++t) {
+    const auto series = tomcat_committed_series(t);
+    for (std::size_t w = 0; w < acc.size() && w < series.size(); ++w)
+      acc[w] += series[w];
+  }
+  return acc;
+}
+
+std::vector<double> Experiment::mysql_tier_queue() const {
+  std::vector<double> acc(num_metric_windows(), 0.0);
+  for (const auto& m : mysqls_) add_gauge_max(acc, m->queue_trace());
+  return acc;
+}
+
+std::vector<double> Experiment::tomcat_committed_series(int tomcat) const {
+  std::vector<double> acc(num_metric_windows(), 0.0);
+  for (const auto& a : apaches_) {
+    if (!a->balancer().tracing()) continue;
+    add_gauge_max(acc, a->balancer().committed_trace(tomcat));
+  }
+  return acc;
+}
+
+std::vector<double> Experiment::tomcat_resident_series(int tomcat) const {
+  std::vector<double> acc(num_metric_windows(), 0.0);
+  add_gauge_max(acc, tomcats_[static_cast<std::size_t>(tomcat)]->queue_trace());
+  return acc;
+}
+
+double Experiment::mean_cpu(const metrics::TimeSeries& s) const {
+  double sum = 0;
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < s.num_windows(); ++i) {
+    sum += s.sum(i);
+    n += s.count(i);
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<std::pair<sim::SimTime, sim::SimTime>> Experiment::flush_intervals(
+    int tomcat) const {
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> out;
+  if (config_.tomcat_millibottlenecks &&
+      config_.tomcat_stall_source != StallSource::kPdflush) {
+    for (const auto& e :
+         injectors_[static_cast<std::size_t>(tomcat)]->episodes())
+      out.emplace_back(e.start, e.end);
+    return out;
+  }
+  for (const auto& e :
+       tomcat_nodes_[static_cast<std::size_t>(tomcat)]->pdflush().episodes()) {
+    out.emplace_back(e.start, e.end == sim::SimTime::max() ? config_.duration
+                                                           : e.end);
+  }
+  return out;
+}
+
+std::vector<std::pair<sim::SimTime, sim::SimTime>>
+Experiment::mysql_flush_intervals(int replica) const {
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> out;
+  for (const auto& e :
+       mysql_nodes_[static_cast<std::size_t>(replica)]->pdflush().episodes()) {
+    out.emplace_back(e.start, e.end == sim::SimTime::max() ? config_.duration
+                                                           : e.end);
+  }
+  return out;
+}
+
+}  // namespace ntier::experiment

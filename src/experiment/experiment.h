@@ -1,0 +1,129 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "experiment/config.h"
+#include "metrics/request_log.h"
+#include "metrics/sampler.h"
+#include "millib/injector.h"
+#include "os/node.h"
+#include "server/apache_server.h"
+#include "server/db_router.h"
+#include "server/mysql_server.h"
+#include "server/tomcat_server.h"
+#include "sim/simulation.h"
+#include "workload/client.h"
+#include "workload/rubbos.h"
+
+namespace ntier::experiment {
+
+/// Builds the full testbed described by an ExperimentConfig — client
+/// population, Apache tier (each with its own balancer), Tomcat tier (each
+/// with its own DB router), MySQL replica(s), per-node OS models with
+/// pdflush or synthetic stall injectors — runs it, and exposes every
+/// collected series. One Experiment = one row/curve of the paper.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Run for config.duration of simulated time (call once).
+  void run();
+
+  // -- components --------------------------------------------------------------
+  const ExperimentConfig& config() const { return config_; }
+  sim::Simulation& simulation() { return sim_; }
+  const metrics::RequestLog& log() const { return log_; }
+  const workload::ClientPopulation& clients() const { return *clients_; }
+  /// Mutable access for pre-run instrumentation (issue hooks etc.).
+  workload::ClientPopulation& mutable_clients() { return *clients_; }
+
+  int num_apaches() const { return static_cast<int>(apaches_.size()); }
+  int num_tomcats() const { return static_cast<int>(tomcats_.size()); }
+  int num_mysql() const { return static_cast<int>(mysqls_.size()); }
+  server::ApacheServer& apache(int i) { return *apaches_[static_cast<std::size_t>(i)]; }
+  server::TomcatServer& tomcat(int i) { return *tomcats_[static_cast<std::size_t>(i)]; }
+  server::MySqlServer& mysql(int i = 0) { return *mysqls_[static_cast<std::size_t>(i)]; }
+  server::DbRouter& db_router(int tomcat) {
+    return *db_routers_[static_cast<std::size_t>(tomcat)];
+  }
+  os::Node& apache_node(int i) { return *apache_nodes_[static_cast<std::size_t>(i)]; }
+  os::Node& tomcat_node(int i) { return *tomcat_nodes_[static_cast<std::size_t>(i)]; }
+  os::Node& mysql_node(int i = 0) { return *mysql_nodes_[static_cast<std::size_t>(i)]; }
+
+  // -- derived series (tracing only) --------------------------------------------
+  /// Per-window *sum over servers* of the per-window queue maxima for each
+  /// tier — the paper's tier-level queue plots (Fig. 2(b), 8, 12).
+  std::vector<double> apache_tier_queue() const;
+  /// Tomcat tier queue in the paper's accounting: requests committed by any
+  /// balancer to any Tomcat (includes those blocked inside get_endpoint).
+  std::vector<double> tomcat_tier_queue() const;
+  std::vector<double> mysql_tier_queue() const;
+  /// Committed-queue series of one Tomcat, summed across the 4 balancers.
+  std::vector<double> tomcat_committed_series(int tomcat) const;
+  /// Physically resident series of one Tomcat.
+  std::vector<double> tomcat_resident_series(int tomcat) const;
+
+  /// CPU utilisation (foreground + iowait stall) per 50 ms window.
+  const metrics::TimeSeries& tomcat_cpu_series(int i) const {
+    return tomcat_cpu_[static_cast<std::size_t>(i)]->series();
+  }
+  const metrics::TimeSeries& apache_cpu_series(int i) const {
+    return apache_cpu_[static_cast<std::size_t>(i)]->series();
+  }
+  const metrics::TimeSeries& mysql_cpu_series(int i = 0) const {
+    return mysql_cpu_[static_cast<std::size_t>(i)]->series();
+  }
+  const metrics::TimeSeries& tomcat_iowait_series(int i) const {
+    return tomcat_iowait_[static_cast<std::size_t>(i)]->series();
+  }
+
+  /// Mean CPU utilisation over the run, per server (Fig. 5).
+  double mean_cpu(const metrics::TimeSeries& s) const;
+
+  /// Ground-truth millibottleneck intervals on a Tomcat node: pdflush
+  /// episodes, or injector stalls when a synthetic source is configured.
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> flush_intervals(
+      int tomcat) const;
+  /// Ground-truth millibottleneck intervals on a MySQL node.
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> mysql_flush_intervals(
+      int replica) const;
+
+  std::size_t num_metric_windows() const;
+
+ private:
+  void build();
+  std::unique_ptr<os::Node> make_node(const std::string& name,
+                                      bool millibottlenecks,
+                                      os::PdflushConfig pdflush, int index,
+                                      std::uint64_t throttle_bytes = 0);
+
+  ExperimentConfig config_;
+  sim::Simulation sim_;
+  workload::RubbosWorkload workload_;
+  metrics::RequestLog log_;
+
+  std::vector<std::unique_ptr<os::Node>> apache_nodes_;
+  std::vector<std::unique_ptr<os::Node>> tomcat_nodes_;
+  std::vector<std::unique_ptr<os::Node>> mysql_nodes_;
+  std::vector<std::unique_ptr<server::MySqlServer>> mysqls_;
+  std::vector<std::unique_ptr<server::DbRouter>> db_routers_;
+  std::vector<std::unique_ptr<server::TomcatServer>> tomcats_;
+  std::vector<std::unique_ptr<server::ApacheServer>> apaches_;
+  std::vector<std::unique_ptr<millib::CapacityStallInjector>> injectors_;
+  std::unique_ptr<workload::ClientPopulation> clients_;
+
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> apache_cpu_;
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_cpu_;
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_iowait_;
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> mysql_cpu_;
+  bool ran_ = false;
+};
+
+}  // namespace ntier::experiment

@@ -1,0 +1,100 @@
+#include "experiment/summary.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "experiment/report.h"
+
+namespace ntier::experiment {
+
+RunSummary summarize(Experiment& e) {
+  RunSummary s;
+  const auto& cfg = e.config();
+  s.label = cfg.label;
+  s.policy = lb::to_string(cfg.policy);
+  s.mechanism = lb::to_string(cfg.mechanism);
+  s.offered_rps = cfg.offered_rps();
+  s.duration_s = cfg.duration.to_seconds();
+
+  const auto& log = e.log();
+  s.completed = log.completed();
+  s.dropped = e.clients().dropped();
+  s.balancer_errors = e.clients().failed();
+  s.connection_drops = e.clients().connection_drops();
+  s.mean_rt_ms = log.mean_response_ms();
+  s.p50_ms = log.percentile_ms(50);
+  s.p99_ms = log.percentile_ms(99);
+  s.p999_ms = log.percentile_ms(99.9);
+  s.vlrt_fraction = log.vlrt_fraction();
+  s.normal_fraction = log.normal_fraction();
+
+  if (cfg.tracing) {
+    s.apache_queue_peak = max_of(e.apache_tier_queue());
+    s.tomcat_queue_peak = max_of(e.tomcat_tier_queue());
+    s.mysql_queue_peak = max_of(e.mysql_tier_queue());
+    for (int i = 0; i < e.num_apaches(); ++i)
+      s.apache_mean_cpu.push_back(e.mean_cpu(e.apache_cpu_series(i)));
+    for (int i = 0; i < e.num_tomcats(); ++i)
+      s.tomcat_mean_cpu.push_back(e.mean_cpu(e.tomcat_cpu_series(i)));
+    for (int i = 0; i < e.num_mysql(); ++i)
+      s.mysql_mean_cpu.push_back(e.mean_cpu(e.mysql_cpu_series(i)));
+  }
+  return s;
+}
+
+namespace {
+
+void field(std::ostream& os, const char* name, double v, bool comma = true) {
+  os << "  \"" << name << "\": " << v;
+  if (comma) os << ',';
+  os << '\n';
+}
+
+void array(std::ostream& os, const char* name, const std::vector<double>& v,
+           bool comma = true) {
+  os << "  \"" << name << "\": [";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  os << ']';
+  if (comma) os << ',';
+  os << '\n';
+}
+
+}  // namespace
+
+void RunSummary::to_json(std::ostream& os) const {
+  os << std::setprecision(10);
+  os << "{\n";
+  os << "  \"label\": \"" << label << "\",\n";
+  os << "  \"policy\": \"" << policy << "\",\n";
+  os << "  \"mechanism\": \"" << mechanism << "\",\n";
+  field(os, "offered_rps", offered_rps);
+  field(os, "duration_s", duration_s);
+  field(os, "completed", static_cast<double>(completed));
+  field(os, "dropped", static_cast<double>(dropped));
+  field(os, "balancer_errors", static_cast<double>(balancer_errors));
+  field(os, "connection_drops", static_cast<double>(connection_drops));
+  field(os, "mean_rt_ms", mean_rt_ms);
+  field(os, "p50_ms", p50_ms);
+  field(os, "p99_ms", p99_ms);
+  field(os, "p999_ms", p999_ms);
+  field(os, "vlrt_fraction", vlrt_fraction);
+  field(os, "normal_fraction", normal_fraction);
+  field(os, "apache_queue_peak", apache_queue_peak);
+  field(os, "tomcat_queue_peak", tomcat_queue_peak);
+  field(os, "mysql_queue_peak", mysql_queue_peak);
+  array(os, "apache_mean_cpu", apache_mean_cpu);
+  array(os, "tomcat_mean_cpu", tomcat_mean_cpu);
+  array(os, "mysql_mean_cpu", mysql_mean_cpu, /*comma=*/false);
+  os << "}\n";
+}
+
+std::string RunSummary::to_json_string() const {
+  std::ostringstream os;
+  to_json(os);
+  return os.str();
+}
+
+}  // namespace ntier::experiment

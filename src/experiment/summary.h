@@ -1,0 +1,49 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.h"
+
+namespace ntier::experiment {
+
+/// Flat, serialisable digest of one run — what a CI job or notebook wants
+/// to archive per experiment without holding the Experiment alive.
+struct RunSummary {
+  std::string label;
+  std::string policy;
+  std::string mechanism;
+  double offered_rps = 0;
+  double duration_s = 0;
+
+  std::int64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t balancer_errors = 0;
+  std::uint64_t connection_drops = 0;
+
+  double mean_rt_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double vlrt_fraction = 0;
+  double normal_fraction = 0;
+
+  double apache_queue_peak = 0;
+  double tomcat_queue_peak = 0;
+  double mysql_queue_peak = 0;
+
+  std::vector<double> apache_mean_cpu;
+  std::vector<double> tomcat_mean_cpu;
+  std::vector<double> mysql_mean_cpu;
+
+  /// Serialise as a single JSON object (stable field order, no deps).
+  void to_json(std::ostream& os) const;
+  std::string to_json_string() const;
+};
+
+/// Collect the digest from a finished run. Queue peaks and CPU means are
+/// only available when the experiment ran with tracing enabled.
+RunSummary summarize(Experiment& e);
+
+}  // namespace ntier::experiment

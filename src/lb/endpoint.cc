@@ -1,0 +1,78 @@
+#include "lb/endpoint.h"
+
+#include <stdexcept>
+
+namespace ntier::lb {
+
+std::string to_string(MechanismKind k) {
+  switch (k) {
+    case MechanismKind::kBlocking: return "blocking_get_endpoint";
+    case MechanismKind::kNonBlocking: return "modified_get_endpoint";
+    case MechanismKind::kQueueing: return "queueing_pool";
+  }
+  return "?";
+}
+
+void BlockingAcquirer::acquire(sim::Simulation& simu, EndpointPool& pool,
+                               const WorkerRecord& rec,
+                               std::function<void(bool)> done) {
+  // Algorithm 1: with retry counted in units of JK_SLEEP_DEF, polls happen
+  // at t = 0, S, 2S, ... while retry*S < timeout; then the call fails.
+  struct PollState {
+    sim::Simulation& simu;
+    EndpointPool& pool;
+    Params params;
+    std::function<void(bool)> done;
+    sim::SimTime waited;
+  };
+  auto st = std::make_shared<PollState>(
+      PollState{simu, pool, params_, std::move(done), sim::SimTime::zero()});
+  (void)rec;
+
+  // Exact Algorithm-1 sequencing: a failed check is always followed by a
+  // sleep; the loop condition (retry * JK_SLEEP_DEF < timeout) is evaluated
+  // on wake-up. With the defaults this checks at 0/100/200 ms and reports
+  // failure at 300 ms.
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [st, poll] {
+    if (st->pool.try_acquire()) {
+      st->done(true);
+      return;
+    }
+    st->waited += st->params.sleep_interval;
+    st->simu.after(st->params.sleep_interval, [st, poll] {
+      if (st->waited >= st->params.acquire_timeout)
+        st->done(false);
+      else
+        (*poll)();
+    });
+  };
+  (*poll)();
+}
+
+void NonBlockingAcquirer::acquire(sim::Simulation&, EndpointPool& pool,
+                                  const WorkerRecord&,
+                                  std::function<void(bool)> done) {
+  done(pool.try_acquire());
+}
+
+void QueueingAcquirer::acquire(sim::Simulation&, EndpointPool& pool,
+                               const WorkerRecord&,
+                               std::function<void(bool)> done) {
+  pool.acquire_or_wait([done = std::move(done)] { done(true); });
+}
+
+std::unique_ptr<EndpointAcquirer> make_acquirer(MechanismKind kind,
+                                                BlockingAcquirer::Params params) {
+  switch (kind) {
+    case MechanismKind::kBlocking:
+      return std::make_unique<BlockingAcquirer>(params);
+    case MechanismKind::kNonBlocking:
+      return std::make_unique<NonBlockingAcquirer>();
+    case MechanismKind::kQueueing:
+      return std::make_unique<QueueingAcquirer>();
+  }
+  throw std::invalid_argument("make_acquirer: unknown kind");
+}
+
+}  // namespace ntier::lb

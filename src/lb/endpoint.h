@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "lb/worker_record.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace ntier::lb {
+
+/// AJP connection pool between one Apache and one Tomcat
+/// (mod_jk `connection_pool_size`). An *endpoint* is a pooled connection; a
+/// free endpoint is what `get_endpoint` hunts for. Slots are released when
+/// the response comes back, so a stalled Tomcat pins every slot and starves
+/// the pool — the trigger of the mechanism limitation.
+///
+/// Besides the polling-style `try_acquire`, the pool supports FIFO waiters
+/// (`acquire_or_wait`): a condvar-style connection pool as used between the
+/// servlets and the database, where a `release` hands the slot to the first
+/// waiter directly.
+class EndpointPool {
+ public:
+  explicit EndpointPool(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_acquire() {
+    if (in_use_ >= capacity_) return false;
+    ++in_use_;
+    return true;
+  }
+
+  /// Acquire immediately when a slot is free, otherwise join the FIFO wait
+  /// queue; `granted` runs (synchronously on release) once the slot is held.
+  void acquire_or_wait(std::function<void()> granted) {
+    if (try_acquire()) {
+      granted();
+    } else {
+      waiters_.push_back(std::move(granted));
+    }
+  }
+
+  void release() {
+    if (in_use_ == 0) throw std::logic_error("EndpointPool: release underflow");
+    if (!waiters_.empty()) {
+      // Hand the slot to the first waiter; in_use_ stays constant.
+      auto granted = std::move(waiters_.front());
+      waiters_.pop_front();
+      granted();
+      return;
+    }
+    --in_use_;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t waiting() const { return waiters_.size(); }
+  bool exhausted() const { return in_use_ >= capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<std::function<void()>> waiters_;
+};
+
+/// Which `get_endpoint` implementation a balancer runs.
+enum class MechanismKind {
+  kBlocking,     // stock mod_jk (Algorithm 1): poll-and-sleep up to a timeout
+  kNonBlocking,  // the paper's remedy: fail fast, treat the worker as Busy
+  kQueueing,     // condvar-style pool: wait FIFO, woken on release (DB pools)
+};
+
+std::string to_string(MechanismKind k);
+
+/// Lower-level mechanism: obtain a free endpoint from the candidate's pool.
+/// The call is asynchronous because the stock implementation consumes
+/// simulated time while polling.
+class EndpointAcquirer {
+ public:
+  virtual ~EndpointAcquirer() = default;
+  virtual MechanismKind kind() const = 0;
+  std::string name() const { return to_string(kind()); }
+
+  /// Try to acquire a slot in `pool`; invoke `done(true)` once acquired or
+  /// `done(false)` when the mechanism gives up. Implementations must not
+  /// mutate `rec` — state transitions on failure belong to the balancer —
+  /// but receive it for introspection/assertions.
+  virtual void acquire(sim::Simulation& simu, EndpointPool& pool,
+                       const WorkerRecord& rec,
+                       std::function<void(bool)> done) = 0;
+};
+
+/// Stock mod_jk behaviour (Algorithm 1): check for a free endpoint, and if
+/// none, sleep `JK_SLEEP_DEF` and re-check until `cache_acquire_timeout`
+/// elapses. Crucially the candidate's state and lb_value are untouched for
+/// the whole wait — the worker stays Available and keeps attracting picks.
+class BlockingAcquirer final : public EndpointAcquirer {
+ public:
+  struct Params {
+    sim::SimTime sleep_interval = sim::SimTime::millis(100);   // JK_SLEEP_DEF
+    sim::SimTime acquire_timeout = sim::SimTime::millis(300);  // cache_acquire_timeout
+  };
+
+  BlockingAcquirer() = default;
+  explicit BlockingAcquirer(Params p) : params_(p) {}
+  MechanismKind kind() const override { return MechanismKind::kBlocking; }
+  const Params& params() const { return params_; }
+
+  void acquire(sim::Simulation& simu, EndpointPool& pool, const WorkerRecord& rec,
+               std::function<void(bool)> done) override;
+
+ private:
+  Params params_;
+};
+
+/// The paper's mechanism remedy (§IV-C): a single immediate attempt. On
+/// failure the balancer conservatively treats the candidate as Busy and
+/// moves on — a millibottleneck is indistinguishable from exhaustion in the
+/// moment, and a fast decision beats a 300 ms stall.
+class NonBlockingAcquirer final : public EndpointAcquirer {
+ public:
+  MechanismKind kind() const override { return MechanismKind::kNonBlocking; }
+  void acquire(sim::Simulation& simu, EndpointPool& pool, const WorkerRecord& rec,
+               std::function<void(bool)> done) override;
+};
+
+/// Condvar-style acquisition: never fails, waits FIFO on the chosen pool
+/// and is woken directly by the releasing request. This is how the
+/// servlet-side DB connection pools behave; note that it *commits* to the
+/// chosen worker, so only an adaptive policy protects it from queueing
+/// behind a millibottleneck.
+class QueueingAcquirer final : public EndpointAcquirer {
+ public:
+  MechanismKind kind() const override { return MechanismKind::kQueueing; }
+  void acquire(sim::Simulation& simu, EndpointPool& pool, const WorkerRecord& rec,
+               std::function<void(bool)> done) override;
+};
+
+std::unique_ptr<EndpointAcquirer> make_acquirer(
+    MechanismKind kind, BlockingAcquirer::Params params = {});
+
+}  // namespace ntier::lb

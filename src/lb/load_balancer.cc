@@ -1,0 +1,213 @@
+#include "lb/load_balancer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ntier::lb {
+
+struct LoadBalancer::AssignContext {
+  proto::RequestPtr req;
+  std::function<void(int)> done;
+  std::vector<bool> attempted;  // per worker index
+};
+
+LoadBalancer::LoadBalancer(sim::Simulation& simu, int num_workers,
+                           std::unique_ptr<LbPolicy> policy,
+                           std::unique_ptr<EndpointAcquirer> acquirer,
+                           BalancerConfig config)
+    : sim_(simu),
+      policy_(std::move(policy)),
+      acquirer_(std::move(acquirer)),
+      config_(config),
+      rng_(simu.rng().fork()) {
+  if (!config_.worker_weights.empty() &&
+      config_.worker_weights.size() != static_cast<std::size_t>(num_workers))
+    throw std::invalid_argument("BalancerConfig: worker_weights size mismatch");
+  records_.resize(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    auto& rec = records_[static_cast<std::size_t>(i)];
+    rec.tomcat_id = i;
+    if (!config_.worker_weights.empty()) {
+      rec.weight = config_.worker_weights[static_cast<std::size_t>(i)];
+      if (rec.weight <= 0)
+        throw std::invalid_argument("BalancerConfig: non-positive weight");
+    }
+  }
+  pools_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i)
+    pools_.emplace_back(config_.endpoint_pool_size);
+  if (config_.decay_interval > sim::SimTime::zero()) {
+    if (config_.decay_divisor <= 1.0)
+      throw std::invalid_argument("BalancerConfig: decay_divisor must be > 1");
+    arm_decay();
+  }
+}
+
+void LoadBalancer::arm_decay() {
+  sim_.after(config_.decay_interval, [this] {
+    decay_now();
+    arm_decay();
+  });
+}
+
+void LoadBalancer::decay_now() {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    records_[i].lb_value /= config_.decay_divisor;
+    trace_lb_value(static_cast<int>(i));
+  }
+}
+
+void LoadBalancer::enable_tracing(sim::SimTime window) {
+  lb_value_traces_.clear();
+  committed_traces_.clear();
+  assignment_traces_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    lb_value_traces_.emplace_back(window);
+    committed_traces_.emplace_back(window);
+    assignment_traces_.emplace_back(window);
+  }
+}
+
+void LoadBalancer::finish_traces() {
+  for (auto& g : lb_value_traces_) g.finish(sim_.now());
+  for (auto& g : committed_traces_) g.finish(sim_.now());
+}
+
+void LoadBalancer::trace_lb_value(int idx) {
+  if (lb_value_traces_.empty()) return;
+  lb_value_traces_[static_cast<std::size_t>(idx)].set(
+      sim_.now(), records_[static_cast<std::size_t>(idx)].lb_value);
+}
+
+void LoadBalancer::set_committed(int idx, int delta) {
+  auto& rec = records_[static_cast<std::size_t>(idx)];
+  rec.committed += delta;
+  assert(rec.committed >= 0);
+  if (!committed_traces_.empty())
+    committed_traces_[static_cast<std::size_t>(idx)].set(sim_.now(),
+                                                         rec.committed);
+}
+
+bool LoadBalancer::eligible(WorkerRecord& rec) {
+  switch (rec.state) {
+    case WorkerState::kAvailable:
+      return true;
+    case WorkerState::kBusy:
+      if (sim_.now() >= rec.state_until) {
+        rec.state = WorkerState::kAvailable;  // lazy Busy recovery
+        return true;
+      }
+      return false;
+    case WorkerState::kError:
+      if (sim_.now() >= rec.state_until) {
+        rec.state = WorkerState::kAvailable;  // mod_jk `retry` elapsed
+        rec.consecutive_failures = 0;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void LoadBalancer::mark_failure(WorkerRecord& rec) {
+  ++rec.acquire_failures;
+  // Concurrent waiters that started polling before the worker was sidelined
+  // all fail around the same instant; only the first of them escalates the
+  // state (mod_jk marks the worker once, the rest just observe it Busy).
+  if ((rec.state == WorkerState::kBusy || rec.state == WorkerState::kError) &&
+      sim_.now() < rec.state_until)
+    return;
+  ++rec.consecutive_failures;
+  if (rec.consecutive_failures >= config_.failures_to_error) {
+    rec.state = WorkerState::kError;
+    rec.state_until = sim_.now() + config_.error_recovery;
+  } else {
+    rec.state = WorkerState::kBusy;
+    rec.state_until = sim_.now() + config_.busy_recovery;
+  }
+}
+
+void LoadBalancer::try_next(const std::shared_ptr<AssignContext>& ctx) {
+  int idx = -1;
+  // Sticky routing first: a request that carries a session route goes back
+  // to its owner whenever that worker is eligible and not yet attempted.
+  const int route = ctx->req->session_route;
+  if (config_.sticky_sessions && route >= 0 && route < num_workers()) {
+    auto& owner = records_[static_cast<std::size_t>(route)];
+    if (!ctx->attempted[static_cast<std::size_t>(route)] && eligible(owner)) {
+      idx = route;
+      ++sticky_hits_;
+    } else if (config_.sticky_force) {
+      ++balancer_errors_;  // mod_jk sticky_session_force: no fallback
+      ctx->done(-1);
+      return;
+    }
+  }
+  if (idx < 0) {
+    std::vector<int> eligible_idx;
+    eligible_idx.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (!ctx->attempted[i] && eligible(records_[i]))
+        eligible_idx.push_back(static_cast<int>(i));
+    }
+    idx = eligible_idx.empty() ? -1
+                               : policy_->pick(records_, eligible_idx, rng_);
+  }
+  if (idx < 0) {
+    ++balancer_errors_;
+    ctx->done(-1);
+    return;
+  }
+
+  ctx->attempted[static_cast<std::size_t>(idx)] = true;
+  auto& rec = records_[static_cast<std::size_t>(idx)];
+  // The request is now committed to this candidate: even if the acquirer
+  // spends 300 ms polling, the paper's per-Tomcat queue accounting counts it
+  // against this backend.
+  set_committed(idx, +1);
+
+  acquirer_->acquire(
+      sim_, pools_[static_cast<std::size_t>(idx)], rec,
+      [this, ctx, idx](bool ok) {
+        auto& r = records_[static_cast<std::size_t>(idx)];
+        if (ok) {
+          r.consecutive_failures = 0;
+          ++r.assigned;
+          ++r.outstanding;
+          policy_->on_assigned(r, *ctx->req);  // Algorithm 2/4 increment point
+          trace_lb_value(idx);
+          if (!assignment_traces_.empty())
+            assignment_traces_[static_cast<std::size_t>(idx)].record(sim_.now(),
+                                                                     1.0);
+          // Deliberately no write into *ctx->req: which field the chosen
+          // index means (tomcat, DB replica, ...) is the caller's business.
+          ctx->done(idx);
+        } else {
+          mark_failure(r);
+          set_committed(idx, -1);
+          try_next(ctx);
+        }
+      });
+}
+
+void LoadBalancer::assign(const proto::RequestPtr& req,
+                          std::function<void(int)> done) {
+  auto ctx = std::make_shared<AssignContext>();
+  ctx->req = req;
+  ctx->done = std::move(done);
+  ctx->attempted.assign(records_.size(), false);
+  try_next(ctx);
+}
+
+void LoadBalancer::on_response(int idx, const proto::RequestPtr& req) {
+  auto& rec = records_[static_cast<std::size_t>(idx)];
+  pools_[static_cast<std::size_t>(idx)].release();
+  assert(rec.outstanding > 0);
+  --rec.outstanding;
+  ++rec.completed;
+  policy_->on_completed(rec, *req);  // Algorithm 3 increment / 4 decrement
+  trace_lb_value(idx);
+  set_committed(idx, -1);
+}
+
+}  // namespace ntier::lb

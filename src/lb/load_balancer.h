@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/endpoint.h"
+#include "lb/policy.h"
+#include "lb/worker_record.h"
+#include "metrics/time_series.h"
+#include "proto/request.h"
+#include "sim/simulation.h"
+
+namespace ntier::lb {
+
+/// Balancer tunables (mod_jk worker properties plus the remedy knobs).
+struct BalancerConfig {
+  /// AJP connections per (Apache, Tomcat) pair. The paper's Apache runs two
+  /// worker-MPM children with connection_pool_size 25 each, so one Apache
+  /// can hold 50 connections to each Tomcat.
+  std::size_t endpoint_pool_size = 50;
+  /// How long a Busy worker is skipped before being retried.
+  sim::SimTime busy_recovery = sim::SimTime::millis(100);
+  /// Consecutive Busy *episodes* (not individual waiter failures) before a
+  /// worker escalates to Error. Transient millibottlenecks resolve within a
+  /// couple of episodes; only a genuinely dead backend accumulates more.
+  int failures_to_error = 5;
+  /// How long an Error worker is skipped (mod_jk `retry`, default 60 s).
+  sim::SimTime error_recovery = sim::SimTime::seconds(60);
+  BlockingAcquirer::Params blocking;
+
+  /// Per-worker lbfactor weights (empty = all 1.0). A weight-2 worker
+  /// receives twice the traffic of a weight-1 worker under the
+  /// value-normalised policies.
+  std::vector<double> worker_weights;
+
+  /// mod_jk "maintain" aging: every interval, every lb_value is divided by
+  /// `decay_divisor`, bounding how long historical imbalance dominates.
+  /// Zero disables it — the paper's pseudo-code has no aging, and aging is
+  /// far too slow (60 s) to help against a 300 ms millibottleneck.
+  sim::SimTime decay_interval = sim::SimTime::zero();
+  double decay_divisor = 2.0;
+
+  /// Honour Request::session_route (mod_jk sticky sessions): a request
+  /// carrying a route goes back to that worker whenever it is eligible.
+  bool sticky_sessions = false;
+  /// mod_jk sticky_session_force: fail (503) instead of falling back to the
+  /// policy when the routed worker cannot take the request.
+  bool sticky_force = false;
+};
+
+/// mod_jk's two-level scheduler, one instance per Apache.
+///
+/// Upper level: the policy ranks workers by lb_value. Lower level: the
+/// acquirer obtains a free endpoint from the chosen worker's pool. The
+/// *interaction* of the two levels under a millibottleneck is the paper's
+/// subject: with the stock blocking acquirer, a stalled worker keeps its
+/// (minimal) lb_value and its Available state for the whole 300 ms poll, so
+/// every concurrent assignment funnels into it.
+class LoadBalancer {
+ public:
+  LoadBalancer(sim::Simulation& simu, int num_workers,
+               std::unique_ptr<LbPolicy> policy,
+               std::unique_ptr<EndpointAcquirer> acquirer,
+               BalancerConfig config = {});
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  /// Select a backend and acquire an endpoint for `req`. `done(tomcat)` is
+  /// called — possibly after simulated polling time — with the chosen worker
+  /// index, or -1 when every worker was tried and none yielded an endpoint
+  /// (the request fails with a balancer error, as mod_jk returns 503).
+  void assign(const proto::RequestPtr& req, std::function<void(int)> done);
+
+  /// The response for `req` arrived from worker `idx`: release the endpoint
+  /// and run the policy's completion hook.
+  void on_response(int idx, const proto::RequestPtr& req);
+
+  // -- introspection ---------------------------------------------------------
+  int num_workers() const { return static_cast<int>(records_.size()); }
+  const WorkerRecord& record(int idx) const {
+    return records_[static_cast<std::size_t>(idx)];
+  }
+  const EndpointPool& pool(int idx) const {
+    return pools_[static_cast<std::size_t>(idx)];
+  }
+  LbPolicy& policy() { return *policy_; }
+  EndpointAcquirer& acquirer() { return *acquirer_; }
+  const BalancerConfig& config() const { return config_; }
+
+  std::uint64_t balancer_errors() const { return balancer_errors_; }
+  std::uint64_t sticky_hits() const { return sticky_hits_; }
+
+  /// Apply one round of lb_value aging immediately (also runs on the
+  /// configured decay_interval).
+  void decay_now();
+
+  /// Enable per-worker tracing: lb_value gauge, committed-queue gauge and
+  /// per-window assignment counts (the figures' raw series). Must be called
+  /// before traffic flows.
+  void enable_tracing(sim::SimTime window);
+  bool tracing() const { return !lb_value_traces_.empty(); }
+  const metrics::GaugeSeries& lb_value_trace(int idx) const {
+    return lb_value_traces_[static_cast<std::size_t>(idx)];
+  }
+  const metrics::GaugeSeries& committed_trace(int idx) const {
+    return committed_traces_[static_cast<std::size_t>(idx)];
+  }
+  const metrics::TimeSeries& assignment_trace(int idx) const {
+    return assignment_traces_[static_cast<std::size_t>(idx)];
+  }
+  void finish_traces();
+
+ private:
+  struct AssignContext;
+
+  /// Lazy Busy/Error recovery plus eligibility filtering.
+  bool eligible(WorkerRecord& rec);
+  void arm_decay();
+  void mark_failure(WorkerRecord& rec);
+  void try_next(const std::shared_ptr<AssignContext>& ctx);
+  void set_committed(int idx, int delta);
+  void trace_lb_value(int idx);
+
+  sim::Simulation& sim_;
+  std::unique_ptr<LbPolicy> policy_;
+  std::unique_ptr<EndpointAcquirer> acquirer_;
+  BalancerConfig config_;
+  std::vector<WorkerRecord> records_;
+  std::vector<EndpointPool> pools_;
+  sim::Rng rng_;
+  std::uint64_t balancer_errors_ = 0;
+  std::uint64_t sticky_hits_ = 0;
+
+  std::vector<metrics::GaugeSeries> lb_value_traces_;
+  std::vector<metrics::GaugeSeries> committed_traces_;
+  std::vector<metrics::TimeSeries> assignment_traces_;
+};
+
+}  // namespace ntier::lb

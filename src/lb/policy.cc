@@ -1,0 +1,74 @@
+#include "lb/policy.h"
+
+#include <stdexcept>
+
+namespace ntier::lb {
+
+std::string to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kTotalRequest: return "total_request";
+    case PolicyKind::kTotalTraffic: return "total_traffic";
+    case PolicyKind::kCurrentLoad: return "current_load";
+    case PolicyKind::kSessions: return "sessions";
+    case PolicyKind::kRoundRobin: return "round_robin";
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kTwoChoices: return "two_choices";
+  }
+  return "?";
+}
+
+int LbPolicy::pick(const std::vector<WorkerRecord>& records,
+                   const std::vector<int>& eligible, sim::Rng&) {
+  int best = -1;
+  double best_value = 0;
+  for (int idx : eligible) {
+    const double v = records[static_cast<std::size_t>(idx)].lb_value;
+    if (best < 0 || v < best_value) {  // strict <: first minimum wins, as in mod_jk
+      best = idx;
+      best_value = v;
+    }
+  }
+  return best;
+}
+
+int RoundRobinPolicy::pick(const std::vector<WorkerRecord>&,
+                           const std::vector<int>& eligible, sim::Rng&) {
+  if (eligible.empty()) return -1;
+  return eligible[next_++ % eligible.size()];
+}
+
+int RandomPolicy::pick(const std::vector<WorkerRecord>&,
+                       const std::vector<int>& eligible, sim::Rng& rng) {
+  if (eligible.empty()) return -1;
+  return eligible[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+}
+
+int TwoChoicesPolicy::pick(const std::vector<WorkerRecord>& records,
+                           const std::vector<int>& eligible, sim::Rng& rng) {
+  if (eligible.empty()) return -1;
+  if (eligible.size() == 1) return eligible[0];
+  const auto n = static_cast<std::int64_t>(eligible.size());
+  const int a = eligible[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+  int b = a;
+  while (b == a)
+    b = eligible[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+  const auto& ra = records[static_cast<std::size_t>(a)];
+  const auto& rb = records[static_cast<std::size_t>(b)];
+  return ra.outstanding <= rb.outstanding ? a : b;
+}
+
+std::unique_ptr<LbPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kTotalRequest: return std::make_unique<TotalRequestPolicy>();
+    case PolicyKind::kTotalTraffic: return std::make_unique<TotalTrafficPolicy>();
+    case PolicyKind::kCurrentLoad: return std::make_unique<CurrentLoadPolicy>();
+    case PolicyKind::kSessions: return std::make_unique<SessionsPolicy>();
+    case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>();
+    case PolicyKind::kTwoChoices: return std::make_unique<TwoChoicesPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace ntier::lb

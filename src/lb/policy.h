@@ -1,0 +1,153 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/worker_record.h"
+#include "proto/request.h"
+#include "sim/rng.h"
+
+namespace ntier::lb {
+
+/// Which load-balancing policy a balancer runs.
+enum class PolicyKind {
+  kTotalRequest,  // mod_jk default: fewest accumulated requests (Algorithm 2)
+  kTotalTraffic,  // fewest accumulated bytes exchanged (Algorithm 3)
+  kCurrentLoad,   // the paper's remedy: fewest outstanding now (Algorithm 4)
+  kSessions,      // mod_jk method=Sessions: fewest sessions created
+  kRoundRobin,    // classic baseline
+  kRandom,        // classic baseline
+  kTwoChoices,    // power-of-two-choices on outstanding (extension baseline)
+};
+
+std::string to_string(PolicyKind k);
+
+/// Upper level of mod_jk's two-level scheduler: maintains each worker's
+/// lb_value and (for the non-value-based baselines) chooses the candidate.
+///
+/// Hook placement follows the paper's pseudo-code exactly, because it is
+/// load-bearing: `total_request` bumps lb_value only *after* an endpoint is
+/// acquired, and `total_traffic` only after the *response* arrives — so a
+/// worker stuck in a millibottleneck keeps the minimum lb_value and attracts
+/// every new request (§V-A).
+class LbPolicy {
+ public:
+  virtual ~LbPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  std::string name() const { return to_string(kind()); }
+
+  /// Choose among `eligible` (indices into `records`, all Available and not
+  /// yet attempted for this request). Default: lowest lb_value, first on
+  /// ties (mod_jk scans workers in order with a strict comparison).
+  virtual int pick(const std::vector<WorkerRecord>& records,
+                   const std::vector<int>& eligible, sim::Rng& rng);
+
+  /// Endpoint acquired; request about to be sent (Algorithms 2 & 4).
+  virtual void on_assigned(WorkerRecord& rec, const proto::Request& req) = 0;
+
+  /// Response received (Algorithms 3 & 4).
+  virtual void on_completed(WorkerRecord& rec, const proto::Request& req) = 0;
+
+ protected:
+  /// mod_jk's lb_value granularity; kept so traces read like the paper's.
+  static constexpr double kLbMult = 1.0;
+};
+
+/// Factory for all built-in policies.
+std::unique_ptr<LbPolicy> make_policy(PolicyKind kind);
+
+// --------------------------------------------------------------------------
+// Concrete policies (exposed for direct construction in tests).
+
+/// Algorithm 2: rank by accumulated number of requests served. The
+/// increment is divided by the worker's lbfactor so a weight-2 worker is
+/// picked twice as often (mod_jk's lb_mult normalisation).
+class TotalRequestPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kTotalRequest; }
+  void on_assigned(WorkerRecord& rec, const proto::Request&) override {
+    rec.lb_value += kLbMult / rec.weight;
+  }
+  void on_completed(WorkerRecord&, const proto::Request&) override {}
+};
+
+/// Algorithm 3: rank by accumulated message bytes; updated on completion.
+class TotalTrafficPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kTotalTraffic; }
+  void on_assigned(WorkerRecord&, const proto::Request&) override {}
+  void on_completed(WorkerRecord& rec, const proto::Request& req) override {
+    rec.lb_value += (static_cast<double>(req.request_bytes) +
+                     req.response_bytes) *
+                    kLbMult / rec.weight;
+  }
+};
+
+/// Algorithm 4 (the paper's policy remedy): lb_value tracks the number of
+/// requests currently assigned; +1 on send, -1 (floored at 0) on response.
+class CurrentLoadPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kCurrentLoad; }
+  void on_assigned(WorkerRecord& rec, const proto::Request&) override {
+    rec.lb_value += kLbMult / rec.weight;
+  }
+  void on_completed(WorkerRecord& rec, const proto::Request&) override {
+    const double step = kLbMult / rec.weight;
+    if (rec.lb_value >= step)
+      rec.lb_value -= step;
+    else
+      rec.lb_value = 0;
+  }
+};
+
+/// mod_jk method=Sessions: rank by the number of *sessions* opened on each
+/// worker — lb_value advances only for requests that do not yet carry a
+/// session route. Pair with sticky sessions. Shares the cumulative-counter
+/// pathology of total_request: a stalled worker's session count freezes.
+class SessionsPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSessions; }
+  void on_assigned(WorkerRecord& rec, const proto::Request& req) override {
+    if (req.session_route < 0) rec.lb_value += kLbMult / rec.weight;
+  }
+  void on_completed(WorkerRecord&, const proto::Request&) override {}
+};
+
+/// Baseline: cycle through eligible workers regardless of lb_value.
+class RoundRobinPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kRoundRobin; }
+  int pick(const std::vector<WorkerRecord>& records,
+           const std::vector<int>& eligible, sim::Rng& rng) override;
+  void on_assigned(WorkerRecord&, const proto::Request&) override {}
+  void on_completed(WorkerRecord&, const proto::Request&) override {}
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Baseline: uniformly random among eligible workers.
+class RandomPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kRandom; }
+  int pick(const std::vector<WorkerRecord>& records,
+           const std::vector<int>& eligible, sim::Rng& rng) override;
+  void on_assigned(WorkerRecord&, const proto::Request&) override {}
+  void on_completed(WorkerRecord&, const proto::Request&) override {}
+};
+
+/// Extension baseline: sample two eligible workers, pick the one with fewer
+/// outstanding requests (Mitzenmacher's power of two choices). Shares
+/// current_load's adaptivity with O(1) state inspection.
+class TwoChoicesPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kTwoChoices; }
+  int pick(const std::vector<WorkerRecord>& records,
+           const std::vector<int>& eligible, sim::Rng& rng) override;
+  void on_assigned(WorkerRecord&, const proto::Request&) override {}
+  void on_completed(WorkerRecord&, const proto::Request&) override {}
+};
+
+}  // namespace ntier::lb

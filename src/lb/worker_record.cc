@@ -1,0 +1,14 @@
+#include "lb/worker_record.h"
+
+namespace ntier::lb {
+
+std::string to_string(WorkerState s) {
+  switch (s) {
+    case WorkerState::kAvailable: return "available";
+    case WorkerState::kBusy: return "busy";
+    case WorkerState::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace ntier::lb

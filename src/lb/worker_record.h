@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ntier::lb {
+
+/// The 3-state model mod_jk assumes for each backend (paper §IV-A).
+/// The paper's point is that a server inside a millibottleneck fits none of
+/// these: it is *unavailable* for tens–hundreds of ms yet the balancer keeps
+/// it Available.
+enum class WorkerState : std::uint8_t {
+  kAvailable,  // able to process requests
+  kBusy,       // all connections in use; retried after a recovery interval
+  kError,      // deemed failed; retried after a (much longer) interval
+};
+
+std::string to_string(WorkerState s);
+
+/// Per-backend bookkeeping held by one balancer instance (one per Apache,
+/// as in mod_jk — the four Apaches each keep their own lb_values).
+struct WorkerRecord {
+  int tomcat_id = -1;
+
+  WorkerState state = WorkerState::kAvailable;
+  /// When a Busy/Error worker becomes eligible again (lazy recovery).
+  sim::SimTime state_until;
+  /// Consecutive endpoint-acquisition failures; escalates Busy -> Error.
+  int consecutive_failures = 0;
+
+  /// The policy-maintained ranking value; lowest-ranked Available worker is
+  /// picked (mod_jk's normalised lb_value).
+  double lb_value = 0;
+
+  /// mod_jk lbfactor: a weight-2 worker should receive twice the traffic of
+  /// a weight-1 worker. Policies normalise their lb_value increments by
+  /// this factor, exactly like mod_jk's lb_mult scaling.
+  double weight = 1.0;
+
+  // -- statistics ------------------------------------------------------------
+  std::uint64_t assigned = 0;    // endpoint acquired & request sent
+  std::uint64_t completed = 0;   // responses received
+  std::uint64_t acquire_failures = 0;
+  /// Requests sent and not yet answered.
+  int outstanding = 0;
+  /// Requests *committed* to this backend: selected as candidate and not yet
+  /// answered (includes workers still blocked inside get_endpoint). This is
+  /// the quantity the paper plots as the per-Tomcat queue: under the
+  /// blocking mechanism it climbs far beyond `outstanding`.
+  int committed = 0;
+};
+
+}  // namespace ntier::lb

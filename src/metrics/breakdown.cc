@@ -1,0 +1,67 @@
+#include "metrics/breakdown.h"
+
+#include <iomanip>
+
+namespace ntier::metrics {
+
+const char* LatencyBreakdown::segment_name(Segment s) {
+  switch (s) {
+    case kConnect: return "connect (incl. retransmits)";
+    case kBalancing: return "balancing (get_endpoint)";
+    case kBackend: return "backend (tomcat + mysql)";
+    case kReply: return "reply delivery";
+    case kNumSegments: break;
+  }
+  return "?";
+}
+
+LatencyBreakdown::LatencyBreakdown() {
+  // Finer floor than the request histogram: segments can be microseconds.
+  for (int s = 0; s < kNumSegments; ++s)
+    hists_.emplace_back(/*min_value_ms=*/0.01, /*max_value_ms=*/100'000.0,
+                        /*buckets_per_decade=*/20);
+}
+
+void LatencyBreakdown::add(const RequestRecord& rec) {
+  // Only completed requests that traversed the full path decompose cleanly.
+  if (rec.outcome != RequestOutcome::kOk || rec.accepted_at < rec.start ||
+      rec.assigned_at < rec.accepted_at ||
+      rec.backend_done_at < rec.assigned_at || rec.end < rec.backend_done_at) {
+    ++skipped_;
+    return;
+  }
+  ++requests_;
+  hists_[kConnect].record((rec.accepted_at - rec.start).to_millis());
+  hists_[kBalancing].record((rec.assigned_at - rec.accepted_at).to_millis());
+  hists_[kBackend].record((rec.backend_done_at - rec.assigned_at).to_millis());
+  hists_[kReply].record((rec.end - rec.backend_done_at).to_millis());
+}
+
+void LatencyBreakdown::add_all(const std::vector<RequestRecord>& records) {
+  for (const auto& r : records) add(r);
+}
+
+double LatencyBreakdown::share(Segment s) const {
+  double total = 0;
+  for (int k = 0; k < kNumSegments; ++k)
+    total += hists_[static_cast<std::size_t>(k)].mean();
+  return total > 0 ? hist(s).mean() / total : 0.0;
+}
+
+void LatencyBreakdown::print(std::ostream& os) const {
+  os << "latency breakdown over " << requests_ << " requests";
+  if (skipped_) os << " (" << skipped_ << " skipped)";
+  os << ":\n";
+  os << "  " << std::left << std::setw(30) << "segment" << std::right
+     << std::setw(12) << "mean (ms)" << std::setw(12) << "p99 (ms)"
+     << std::setw(10) << "share" << "\n";
+  for (int s = 0; s < kNumSegments; ++s) {
+    const auto seg = static_cast<Segment>(s);
+    os << "  " << std::left << std::setw(30) << segment_name(seg) << std::right
+       << std::fixed << std::setprecision(3) << std::setw(12) << mean_ms(seg)
+       << std::setw(12) << p99_ms(seg) << std::setw(9) << std::setprecision(1)
+       << 100 * share(seg) << "%" << "\n";
+  }
+}
+
+}  // namespace ntier::metrics

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/request_log.h"
+
+namespace ntier::metrics {
+
+/// Where the time goes: per-request latency decomposed into the four hops
+/// the per-request timestamps delimit. During millibottlenecks the connect
+/// and balancing segments explode (SYN retransmissions; workers parked in
+/// get_endpoint) while the backend segment stays modest — the breakdown
+/// makes the paper's amplification argument visible per request.
+class LatencyBreakdown {
+ public:
+  enum Segment {
+    kConnect = 0,    // first SYN -> accepted by an Apache worker (includes
+                     // every retransmission wait)
+    kBalancing,      // accepted -> endpoint acquired (queueing + get_endpoint)
+    kBackend,        // endpoint acquired -> response back at the Apache
+    kReply,          // response at Apache -> response at the client
+    kNumSegments,
+  };
+
+  static const char* segment_name(Segment s);
+
+  LatencyBreakdown();
+
+  /// Digest a completed-OK record (others are skipped and counted).
+  void add(const RequestRecord& rec);
+  void add_all(const std::vector<RequestRecord>& records);
+
+  std::int64_t requests() const { return requests_; }
+  std::int64_t skipped() const { return skipped_; }
+
+  double mean_ms(Segment s) const { return hist(s).mean(); }
+  double p99_ms(Segment s) const { return hist(s).percentile(99); }
+  double share(Segment s) const;  // fraction of total mean latency
+
+  const LatencyHistogram& hist(Segment s) const {
+    return hists_[static_cast<std::size_t>(s)];
+  }
+
+  /// Human-readable table.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<LatencyHistogram> hists_;
+  std::int64_t requests_ = 0;
+  std::int64_t skipped_ = 0;
+};
+
+}  // namespace ntier::metrics

@@ -1,0 +1,48 @@
+#include "metrics/request_log.h"
+
+#include <cstdio>
+
+namespace ntier::metrics {
+
+void RequestLog::on_complete(const RequestRecord& r) {
+  retransmissions_ += r.retransmissions;
+  switch (r.outcome) {
+    case RequestOutcome::kDropped:
+      ++dropped_;
+      break;
+    case RequestOutcome::kBalancerError:
+      ++balancer_errors_;
+      break;
+    case RequestOutcome::kInFlight:
+      break;  // not counted: the run ended first
+    case RequestOutcome::kOk: {
+      const double ms = r.response_ms();
+      histogram_.record(ms);
+      rt_series_.record(r.end, ms);
+      if (ms > kVlrtThresholdMs) vlrt_series_.record(r.end, 1.0);
+      break;
+    }
+  }
+  if (keep_records_) records_.push_back(r);
+}
+
+std::string RequestLog::summary_row(const std::string& label) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-44s %10lld %12.2f %10.2f%% %10.2f%%",
+                label.c_str(), static_cast<long long>(completed()),
+                mean_response_ms(), 100.0 * vlrt_fraction(),
+                100.0 * normal_fraction());
+  return buf;
+}
+
+void RequestLog::to_csv(std::ostream& os) const {
+  os << "id,interaction,apache,tomcat,retransmissions,outcome,start_s,end_s,rt_ms\n";
+  for (const auto& r : records_) {
+    os << r.id << ',' << r.interaction << ',' << r.apache << ',' << r.tomcat
+       << ',' << static_cast<int>(r.retransmissions) << ','
+       << static_cast<int>(r.outcome) << ',' << r.start.to_seconds() << ','
+       << r.end.to_seconds() << ',' << r.response_ms() << '\n';
+  }
+}
+
+}  // namespace ntier::metrics

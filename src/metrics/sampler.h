@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "metrics/time_series.h"
+#include "sim/simulation.h"
+
+namespace ntier::metrics {
+
+/// Polls a probe function on a fixed interval and records the probed value
+/// into a TimeSeries. Used for fine-grained CPU-utilisation and iowait plots
+/// (the paper samples at 50 ms granularity).
+class PeriodicSampler {
+ public:
+  PeriodicSampler(sim::Simulation& simu, sim::SimTime interval,
+                  std::function<double()> probe)
+      : sim_(simu),
+        interval_(interval),
+        probe_(std::move(probe)),
+        series_(interval) {
+    arm();
+  }
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  ~PeriodicSampler() { sim_.cancel(pending_); }
+
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void arm() {
+    pending_ = sim_.after(interval_, [this] {
+      series_.record(sim_.now(), probe_());
+      arm();
+    });
+  }
+
+  sim::EventId pending_ = sim::kInvalidEventId;
+
+  sim::Simulation& sim_;
+  sim::SimTime interval_;
+  std::function<double()> probe_;
+  TimeSeries series_;
+};
+
+}  // namespace ntier::metrics

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::metrics {
+
+/// Fixed-width-window aggregation of point samples (e.g. per-50 ms response
+/// times, VLRT counts). The paper's time-series figures are all rendered
+/// from this form.
+class TimeSeries {
+ public:
+  /// `window` is the aggregation bin width (the paper uses 50 ms bins).
+  explicit TimeSeries(sim::SimTime window) : window_(window) {}
+
+  void record(sim::SimTime t, double value);
+
+  sim::SimTime window() const { return window_; }
+  std::size_t num_windows() const { return windows_.size(); }
+  sim::SimTime window_start(std::size_t i) const {
+    return window_ * static_cast<std::int64_t>(i);
+  }
+
+  std::int64_t count(std::size_t i) const { return at(i).count; }
+  double sum(std::size_t i) const { return at(i).sum; }
+  double max(std::size_t i) const { return at(i).count ? at(i).max : 0.0; }
+  double min(std::size_t i) const { return at(i).count ? at(i).min : 0.0; }
+  double avg(std::size_t i) const {
+    return at(i).count ? at(i).sum / static_cast<double>(at(i).count) : 0.0;
+  }
+
+  std::int64_t total_count() const;
+  double total_sum() const;
+
+  /// Largest bin maximum across the whole series (queue peaks, etc.).
+  double global_max() const;
+
+  /// CSV: window_start_s,count,sum,avg,min,max
+  void to_csv(std::ostream& os, const std::string& name) const;
+
+ private:
+  struct Window {
+    std::int64_t count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  const Window& at(std::size_t i) const {
+    static const Window kEmpty{};
+    return i < windows_.size() ? windows_[i] : kEmpty;
+  }
+
+  sim::SimTime window_;
+  std::vector<Window> windows_;
+};
+
+/// Time-weighted gauge (queue length, lb_value, dirty bytes): tracks a value
+/// that changes at discrete instants, and reports the per-window
+/// time-weighted mean and max. `set()` must be called with non-decreasing
+/// timestamps; `finish()` closes the integration at the end of a run.
+class GaugeSeries {
+ public:
+  explicit GaugeSeries(sim::SimTime window) : window_(window) {}
+
+  void set(sim::SimTime t, double value);
+  void add(sim::SimTime t, double delta) { set(t, last_value_ + delta); }
+  void finish(sim::SimTime t) { advance(t); }
+
+  double current() const { return last_value_; }
+  sim::SimTime window() const { return window_; }
+  std::size_t num_windows() const { return windows_.size(); }
+  sim::SimTime window_start(std::size_t i) const {
+    return window_ * static_cast<std::int64_t>(i);
+  }
+
+  /// Max value observed at any instant within the window.
+  double max(std::size_t i) const;
+  /// Time-weighted mean over the window.
+  double time_avg(std::size_t i) const;
+
+  double global_max() const;
+
+  /// CSV: window_start_s,avg,max
+  void to_csv(std::ostream& os, const std::string& name) const;
+
+ private:
+  struct Window {
+    double integral = 0;            // value * ns
+    sim::SimTime covered;           // ns of the window integrated so far
+    double max = -std::numeric_limits<double>::infinity();
+    bool touched = false;
+  };
+  void advance(sim::SimTime t);
+  Window& window_at(std::size_t i);
+
+  sim::SimTime window_;
+  std::vector<Window> windows_;
+  sim::SimTime last_t_;
+  double last_value_ = 0;
+};
+
+}  // namespace ntier::metrics

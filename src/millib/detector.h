@@ -1,0 +1,83 @@
+#pragma once
+
+#include <vector>
+
+#include "metrics/time_series.h"
+#include "sim/time.h"
+
+namespace ntier::millib {
+
+/// A detected queue spike: contiguous windows whose peak exceeds the
+/// detection threshold. This is the paper's diagnosis methodology (§III-B):
+/// "large spikes in the [queue length] graph represent an abnormally large
+/// number of queued requests, which ... are usually indicative of
+/// bottlenecks".
+struct SpikeEpisode {
+  sim::SimTime start;   // first window above threshold
+  sim::SimTime end;     // end of the last window above threshold
+  double peak = 0;      // max gauge value inside the episode
+};
+
+struct DetectorConfig {
+  /// Multiple of the series' median window-max that counts as a spike.
+  double median_multiplier = 5.0;
+  /// Absolute floor below which a window never counts as a spike (filters
+  /// noise on near-idle gauges).
+  double min_absolute = 10.0;
+  /// Merge episodes separated by fewer than this many quiet windows.
+  int merge_gap_windows = 1;
+};
+
+/// Offline spike detection over a queue-length gauge.
+class MillibottleneckDetector {
+ public:
+  explicit MillibottleneckDetector(DetectorConfig config = {})
+      : config_(config) {}
+
+  std::vector<SpikeEpisode> detect(const metrics::GaugeSeries& gauge) const;
+
+  /// The effective threshold used for `gauge` (for reporting).
+  double threshold_for(const metrics::GaugeSeries& gauge) const;
+
+ private:
+  DetectorConfig config_;
+};
+
+/// True when `episode` overlaps (within `slack`) any of the ground-truth
+/// intervals — used to validate the detector against injected stalls.
+bool overlaps_any(const SpikeEpisode& episode,
+                  const std::vector<std::pair<sim::SimTime, sim::SimTime>>& truth,
+                  sim::SimTime slack);
+
+/// The complementary signal: a server inside a millibottleneck *completes*
+/// almost nothing while work keeps arriving, so per-window throughput dips
+/// far below its norm exactly when the queue rises. This mirrors the
+/// fine-grained throughput/concurrency correlation analysis of Wang et
+/// al. [27], which the paper uses to infer real-time server state.
+struct ThroughputDipConfig {
+  /// A window counts as a dip when its completions fall below this fraction
+  /// of the median window's.
+  double dip_fraction = 0.25;
+  /// Ignore dips when the concurrent queue gauge is below this (an idle
+  /// server completes nothing without being bottlenecked).
+  double min_queue = 5.0;
+  int merge_gap_windows = 1;
+};
+
+class ThroughputDipDetector {
+ public:
+  explicit ThroughputDipDetector(ThroughputDipConfig config = {})
+      : config_(config) {}
+
+  /// `completions` counts completed work per window; `queue` is the
+  /// concurrent queue-length gauge of the same server.
+  std::vector<SpikeEpisode> detect(const metrics::TimeSeries& completions,
+                                   const metrics::GaugeSeries& queue) const;
+
+  double median_throughput(const metrics::TimeSeries& completions) const;
+
+ private:
+  ThroughputDipConfig config_;
+};
+
+}  // namespace ntier::millib

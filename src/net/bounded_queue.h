@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace ntier::net {
+
+/// Bounded FIFO with drop accounting — the listen/accept backlog of a
+/// server. Overflow (try_push returning false) models a dropped SYN.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False (and counts a drop) when the queue is full.
+  bool try_push(T item) {
+    if (items_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace ntier::net

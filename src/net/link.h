@@ -1,0 +1,29 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace ntier::net {
+
+/// A one-way network hop with fixed propagation/processing latency. The
+/// paper's testbed is a 1 Gbps LAN where transfer time is negligible next to
+/// service times, so a constant per-hop latency captures the relevant cost.
+class Link {
+ public:
+  explicit Link(sim::SimTime latency = sim::SimTime::micros(100))
+      : latency_(latency) {}
+
+  sim::SimTime latency() const { return latency_; }
+
+  /// Deliver `fn` on the far side after the link latency.
+  void deliver(sim::Simulation& simu, std::function<void()> fn) const {
+    simu.after(latency_, std::move(fn));
+  }
+
+ private:
+  sim::SimTime latency_;
+};
+
+}  // namespace ntier::net

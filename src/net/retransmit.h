@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::net {
+
+/// Retransmission timer schedule for dropped connection attempts.
+///
+/// When an Apache accept queue overflows, the SYN is silently dropped and
+/// the client retries after the retransmission timeout. The paper observes
+/// the resulting VLRT requests clustering at ≈1 s, 2 s and 3 s (Fig. 4),
+/// i.e. an effectively constant ≈1 s timer across the first few retries on
+/// its kernel; the schedule here is configurable so the ablation bench can
+/// explore exponential-backoff variants ({1 s, 2 s, 4 s, …}) as well.
+struct RetransmitSchedule {
+  std::vector<sim::SimTime> delays = {
+      sim::SimTime::seconds(1), sim::SimTime::seconds(1),
+      sim::SimTime::seconds(1), sim::SimTime::seconds(1),
+      sim::SimTime::seconds(1)};
+
+  static RetransmitSchedule constant(sim::SimTime rto, std::size_t retries) {
+    RetransmitSchedule s;
+    s.delays.assign(retries, rto);
+    return s;
+  }
+
+  static RetransmitSchedule exponential(sim::SimTime initial, std::size_t retries) {
+    RetransmitSchedule s;
+    s.delays.clear();
+    sim::SimTime d = initial;
+    for (std::size_t i = 0; i < retries; ++i) {
+      s.delays.push_back(d);
+      d = d * 2;
+    }
+    return s;
+  }
+
+  /// Maximum number of retries before the attempt is abandoned.
+  std::size_t max_retries() const { return delays.size(); }
+
+  /// Delay before retry number `attempt` (0-based). Precondition:
+  /// attempt < max_retries().
+  sim::SimTime delay(std::size_t attempt) const { return delays.at(attempt); }
+};
+
+}  // namespace ntier::net

@@ -1,0 +1,47 @@
+#include "os/page_cache.h"
+
+#include <utility>
+
+namespace ntier::os {
+
+void PageCache::write_dirty(std::uint64_t bytes) {
+  dirty_ += bytes;
+  total_written_ += bytes;
+  trace_.set(sim_.now(), static_cast<double>(dirty_));
+  if (threshold_cb_ && !above_threshold_ && dirty_ > threshold_) {
+    above_threshold_ = true;
+    threshold_cb_();
+  }
+}
+
+void PageCache::write_dirty_throttled(std::uint64_t bytes,
+                                      std::function<void()> proceed) {
+  write_dirty(bytes);
+  if (over_throttle()) {
+    throttled_.push_back(std::move(proceed));  // balance_dirty_pages parks us
+  } else {
+    proceed();
+  }
+}
+
+std::uint64_t PageCache::take_all_dirty() {
+  const std::uint64_t taken = dirty_;
+  dirty_ = 0;
+  above_threshold_ = false;
+  trace_.set(sim_.now(), 0.0);
+  if (!throttled_.empty()) {
+    // Writeback claimed the dirty pages: every parked writer may proceed.
+    std::vector<std::function<void()>> wake;
+    wake.swap(throttled_);
+    for (auto& w : wake) w();
+  }
+  return taken;
+}
+
+void PageCache::set_threshold(std::uint64_t bytes, std::function<void()> cb) {
+  threshold_ = bytes;
+  threshold_cb_ = std::move(cb);
+  above_threshold_ = dirty_ > threshold_;
+}
+
+}  // namespace ntier::os

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "metrics/time_series.h"
+#include "sim/simulation.h"
+
+namespace ntier::os {
+
+/// Dirty-page accounting for one node. Server processes append to their log
+/// files through this; pdflush drains it. The dirty-byte gauge is the
+/// paper's Fig. 2(e) ("sum of dirty pages"; abrupt drops = flushes).
+class PageCache {
+ public:
+  explicit PageCache(sim::Simulation& simu,
+                     sim::SimTime trace_window = sim::SimTime::millis(50))
+      : sim_(simu), trace_(trace_window) {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Append `bytes` of dirty data (e.g. a log write).
+  void write_dirty(std::uint64_t bytes);
+
+  /// Append dirty data subject to the foreground throttle (Linux
+  /// balance_dirty_pages / dirty_ratio): when the dirty total exceeds the
+  /// throttle limit, the writing thread is parked and `proceed` runs only
+  /// after writeback drains the cache. With no limit set this is exactly
+  /// write_dirty + an immediate `proceed()`.
+  void write_dirty_throttled(std::uint64_t bytes, std::function<void()> proceed);
+
+  /// Foreground throttle limit in bytes (0 = disabled).
+  void set_throttle_limit(std::uint64_t bytes) { throttle_limit_ = bytes; }
+  bool over_throttle() const {
+    return throttle_limit_ != 0 && dirty_ > throttle_limit_;
+  }
+  std::size_t throttled_writers() const { return throttled_.size(); }
+
+  /// Claim every dirty byte for writeback; resets the gauge to zero and
+  /// releases every throttled writer.
+  std::uint64_t take_all_dirty();
+
+  std::uint64_t dirty_bytes() const { return dirty_; }
+  std::uint64_t total_written() const { return total_written_; }
+
+  /// Invoked (at most once per crossing) when dirty bytes first exceed the
+  /// registered threshold; pdflush uses this for the dirty_background path.
+  void set_threshold(std::uint64_t bytes, std::function<void()> cb);
+
+  /// Time series of the dirty-byte gauge (max + time-avg per window).
+  const metrics::GaugeSeries& trace() const { return trace_; }
+  void finish_trace() { trace_.finish(sim_.now()); }
+
+ private:
+  sim::Simulation& sim_;
+  std::uint64_t dirty_ = 0;
+  std::uint64_t total_written_ = 0;
+  std::uint64_t threshold_ = 0;
+  bool above_threshold_ = false;
+  std::function<void()> threshold_cb_;
+  std::uint64_t throttle_limit_ = 0;
+  std::vector<std::function<void()>> throttled_;
+  metrics::GaugeSeries trace_;
+};
+
+}  // namespace ntier::os

@@ -1,0 +1,49 @@
+#include "os/pdflush.h"
+
+#include <algorithm>
+
+namespace ntier::os {
+
+PdflushDaemon::PdflushDaemon(sim::Simulation& simu, PageCache& cache,
+                             Disk& disk, CpuResource& cpu, PdflushConfig config)
+    : sim_(simu), cache_(cache), disk_(disk), cpu_(cpu), config_(config) {
+  if (!config_.enabled) return;
+  cache_.set_threshold(config_.dirty_background_bytes, [this] {
+    if (!flushing_) begin_flush();
+  });
+  sim_.after(config_.initial_offset + config_.flush_interval,
+             [this] { arm_timer(); });
+}
+
+void PdflushDaemon::arm_timer() {
+  if (!flushing_) begin_flush();
+  sim_.after(config_.flush_interval, [this] { arm_timer(); });
+}
+
+void PdflushDaemon::flush_now() {
+  if (!flushing_) begin_flush();
+}
+
+void PdflushDaemon::begin_flush() {
+  const std::uint64_t bytes = cache_.take_all_dirty();
+  if (bytes == 0) return;
+  flushing_ = true;
+  episodes_.push_back(FlushEpisode{sim_.now(), sim::SimTime::max(), bytes});
+  const std::size_t idx = episodes_.size() - 1;
+  // Starve the foreground while writeback is in flight: this is the
+  // millibottleneck. (If another stall source already lowered the factor we
+  // keep the lower of the two and restore on completion.)
+  saved_factor_ = cpu_.capacity_factor();
+  cpu_.set_capacity_factor(
+      std::min(saved_factor_, 1.0 - config_.cpu_stall_severity));
+  disk_.submit_write(bytes, [this, idx] {
+    cpu_.set_capacity_factor(saved_factor_);
+    flushing_ = false;
+    episodes_[idx].end = sim_.now();
+    // More dirty bytes may have accumulated past the background threshold
+    // while we were writing back; handle the crossing that we swallowed.
+    if (cache_.dirty_bytes() > config_.dirty_background_bytes) begin_flush();
+  });
+}
+
+}  // namespace ntier::os

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.h"
+
+namespace ntier::proto {
+
+/// One client interaction travelling through the n-tier system. Demands are
+/// pre-drawn by the workload generator (so a request is reproducible and
+/// self-contained); servers consume them as the request traverses tiers.
+struct Request {
+  std::uint64_t id = 0;
+  std::uint16_t interaction = 0;  // index into the workload interaction table
+  std::uint16_t client = 0;       // originating client (for think-loop bookkeeping)
+
+  // -- service demands ------------------------------------------------------
+  sim::SimTime apache_demand;       // front-end CPU (parse, static, proxying)
+  sim::SimTime tomcat_demand;       // servlet CPU
+  std::uint8_t db_queries = 0;      // round trips to MySQL
+  sim::SimTime mysql_demand;        // CPU per query (query-cache hits are cheap)
+
+  // -- sizes (drive the total_traffic policy and log volume) ----------------
+  std::uint32_t request_bytes = 0;
+  std::uint32_t response_bytes = 0;
+  std::uint32_t log_bytes = 0;      // appended to the Tomcat node's page cache
+
+  // -- life-cycle bookkeeping -----------------------------------------------
+  sim::SimTime client_start;        // first connection attempt at the client
+  /// Per-hop timestamps for latency breakdown: when an Apache worker picked
+  /// the request up, when the balancer yielded an endpoint, and when the
+  /// backend's response arrived back at the Apache.
+  sim::SimTime accepted_at;
+  sim::SimTime assigned_at;
+  sim::SimTime backend_done_at;
+  std::uint8_t retransmissions = 0; // dropped-and-retried connection attempts
+  std::int16_t apache_id = -1;
+  std::int16_t tomcat_id = -1;
+  /// Sticky-session route (mod_jk jvmRoute): the Tomcat that owns this
+  /// client's session, or -1 for a route-less request.
+  std::int16_t session_route = -1;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace ntier::proto

@@ -1,0 +1,92 @@
+#include "server/apache_server.h"
+
+#include <cassert>
+
+namespace ntier::server {
+
+ApacheServer::ApacheServer(sim::Simulation& simu, os::Node& node, int id,
+                           std::vector<TomcatServer*> tomcats,
+                           std::unique_ptr<lb::LbPolicy> policy,
+                           std::unique_ptr<lb::EndpointAcquirer> acquirer,
+                           lb::BalancerConfig lb_config, ApacheConfig config,
+                           sim::SimTime trace_window)
+    : sim_(simu),
+      node_(node),
+      id_(id),
+      tomcats_(std::move(tomcats)),
+      config_(config),
+      tomcat_link_(config.link_latency),
+      balancer_(std::make_unique<lb::LoadBalancer>(
+          simu, static_cast<int>(tomcats_.size()), std::move(policy),
+          std::move(acquirer), lb_config)),
+      backlog_(config.listen_backlog),
+      queue_trace_(trace_window) {
+  assert(!tomcats_.empty());
+}
+
+bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
+  req->apache_id = static_cast<std::int16_t>(id_);
+  if (workers_busy_ < config_.max_clients) {
+    queue_trace_.set(sim_.now(), resident() + 1);
+    start_worker(Work{req, std::move(respond)});
+    return true;
+  }
+  if (!backlog_.try_push(Work{req, std::move(respond)})) return false;
+  queue_trace_.set(sim_.now(), resident());
+  return true;
+}
+
+void ApacheServer::start_worker(Work w) {
+  ++workers_busy_;
+  w.req->accepted_at = sim_.now();
+  handle(std::move(w));
+}
+
+void ApacheServer::handle(Work w) {
+  // Front-end CPU (parsing, handler setup), then the mod_jk balancer.
+  auto req = w.req;
+  node_.cpu().submit(req->apache_demand, [this, w = std::move(w)]() mutable {
+    // Copy the request handle out before the capture moves `w` (argument
+    // evaluation order is unspecified).
+    auto r = w.req;
+    balancer_->assign(r, [this, w = std::move(w)](int idx) mutable {
+      if (idx < 0) {
+        finish(w, /*ok=*/false);  // mod_jk 503: no backend yielded an endpoint
+        return;
+      }
+      w.req->tomcat_id = static_cast<std::int16_t>(idx);
+      w.req->assigned_at = sim_.now();
+      auto* tomcat = tomcats_[static_cast<std::size_t>(idx)];
+      tomcat_link_.deliver(sim_, [this, w = std::move(w), tomcat, idx]() mutable {
+        const bool accepted = tomcat->submit(
+            w.req, [this, w, idx](const proto::RequestPtr&) {
+              tomcat_link_.deliver(sim_, [this, w, idx] {
+                w.req->backend_done_at = sim_.now();
+                balancer_->on_response(idx, w.req);
+                finish(w, /*ok=*/true);
+              });
+            });
+        if (!accepted) {
+          // Connector backlog overflow (not reachable with the paper's
+          // endpoint-pool sizing, handled for robustness): release the
+          // endpoint and fail the request.
+          balancer_->on_response(idx, w.req);
+          finish(w, /*ok=*/false);
+        }
+      });
+    });
+  });
+}
+
+void ApacheServer::finish(const Work& w, bool ok) {
+  node_.page_cache().write_dirty(config_.log_bytes);
+  ++served_;
+  w.respond(w.req, ok);
+  --workers_busy_;
+  if (auto next = backlog_.try_pop()) {
+    start_worker(std::move(*next));
+  }
+  queue_trace_.set(sim_.now(), resident());
+}
+
+}  // namespace ntier::server

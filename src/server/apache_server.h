@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lb/load_balancer.h"
+#include "metrics/time_series.h"
+#include "net/bounded_queue.h"
+#include "net/link.h"
+#include "os/node.h"
+#include "proto/frontend.h"
+#include "server/tomcat_server.h"
+#include "sim/simulation.h"
+
+namespace ntier::server {
+
+struct ApacheConfig {
+  /// Worker-MPM request-handling threads (Table III: MaxClients 200).
+  int max_clients = 200;
+  /// Effective listen backlog. Apache asks for ListenBacklog=511, but the
+  /// kernel clamps it to net.core.somaxconn, which defaults to 128 on the
+  /// paper's Fedora 15 / kernel 3.3 testbed. Overflow = silent SYN drop —
+  /// the birthplace of the VLRT requests.
+  std::size_t listen_backlog = 128;
+  sim::SimTime link_latency = sim::SimTime::micros(100);
+  /// Access-log bytes per request (dirties the Apache node's page cache;
+  /// only matters in scenarios where Apache-side pdflush is enabled).
+  std::uint32_t log_bytes = 200;
+};
+
+/// Web tier front-end. Accepts client connections into a bounded backlog,
+/// handles each with one of `max_clients` worker threads, and forwards to
+/// the Tomcat tier through its own mod_jk balancer instance — including,
+/// when the stock blocking `get_endpoint` is configured, parking the worker
+/// thread for up to 300 ms inside the balancer. Worker exhaustion therefore
+/// propagates backend millibottlenecks into front-end SYN drops exactly as
+/// the paper describes (queue amplification + push-back wave).
+class ApacheServer final : public proto::FrontEnd {
+ public:
+  ApacheServer(sim::Simulation& simu, os::Node& node, int id,
+               std::vector<TomcatServer*> tomcats,
+               std::unique_ptr<lb::LbPolicy> policy,
+               std::unique_ptr<lb::EndpointAcquirer> acquirer,
+               lb::BalancerConfig lb_config, ApacheConfig config = {},
+               sim::SimTime trace_window = sim::SimTime::millis(50));
+
+  /// proto::FrontEnd — false when the listen backlog is full (SYN dropped).
+  bool try_submit(const proto::RequestPtr& req, RespondFn respond) override;
+
+  int id() const { return id_; }
+  os::Node& node() { return node_; }
+  lb::LoadBalancer& balancer() { return *balancer_; }
+  const lb::LoadBalancer& balancer() const { return *balancer_; }
+
+  /// Requests resident in this Apache (backlog + all worker threads,
+  /// including those blocked inside get_endpoint).
+  int resident() const { return static_cast<int>(backlog_.size()) + workers_busy_; }
+  const metrics::GaugeSeries& queue_trace() const { return queue_trace_; }
+  void finish_traces() { queue_trace_.finish(sim_.now()); }
+
+  std::uint64_t served() const { return served_; }
+  std::uint64_t syn_drops() const { return backlog_.drops(); }
+  int workers_busy() const { return workers_busy_; }
+
+ private:
+  struct Work {
+    proto::RequestPtr req;
+    RespondFn respond;
+  };
+  void start_worker(Work w);
+  void handle(Work w);
+  void finish(const Work& w, bool ok);
+
+  sim::Simulation& sim_;
+  os::Node& node_;
+  int id_;
+  std::vector<TomcatServer*> tomcats_;
+  ApacheConfig config_;
+  net::Link tomcat_link_;
+  std::unique_ptr<lb::LoadBalancer> balancer_;
+
+  net::BoundedQueue<Work> backlog_;
+  int workers_busy_ = 0;
+  std::uint64_t served_ = 0;
+  metrics::GaugeSeries queue_trace_;
+};
+
+}  // namespace ntier::server

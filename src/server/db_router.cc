@@ -1,0 +1,43 @@
+#include "server/db_router.h"
+
+#include <stdexcept>
+
+namespace ntier::server {
+
+DbRouter::DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
+                   DbRouterConfig config)
+    : sim_(simu),
+      replicas_(std::move(replicas)),
+      config_(config),
+      link_(config.link_latency) {
+  if (replicas_.empty()) throw std::invalid_argument("DbRouter: no replicas");
+  lb::BalancerConfig bc = config_.balancer;
+  bc.endpoint_pool_size = config_.pool_per_replica;
+  balancer_ = std::make_unique<lb::LoadBalancer>(
+      simu, static_cast<int>(replicas_.size()), lb::make_policy(config_.policy),
+      lb::make_acquirer(config_.mechanism, bc.blocking), bc);
+}
+
+void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
+                     std::function<void()> done) {
+  balancer_->assign(req, [this, req, demand,
+                          done = std::move(done)](int idx) mutable {
+    if (idx < 0) {
+      ++errors_;  // no replica reachable: the servlet sees a SQL error
+      done();
+      return;
+    }
+    ++routed_;
+    link_.deliver(sim_, [this, req, demand, idx, done = std::move(done)]() mutable {
+      replicas_[static_cast<std::size_t>(idx)]->execute(
+          demand, [this, req, idx, done = std::move(done)]() mutable {
+            link_.deliver(sim_, [this, req, idx, done = std::move(done)] {
+              balancer_->on_response(idx, req);
+              done();
+            });
+          });
+    });
+  });
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lb/load_balancer.h"
+#include "net/link.h"
+#include "proto/request.h"
+#include "server/mysql_server.h"
+#include "sim/simulation.h"
+
+namespace ntier::server {
+
+/// Configuration of the servlet-side database access path.
+struct DbRouterConfig {
+  /// Connections per (Tomcat, replica) pair. The paper's single-MySQL
+  /// setup has 48 connections per application server (Table III).
+  std::size_t pool_per_replica = 48;
+  /// Replica-selection policy. With one replica it is irrelevant; with
+  /// several, this is where the paper's §VIII advice ("other load balancers
+  /// in N-tier systems can take advantage of our remedies") applies.
+  lb::PolicyKind policy = lb::PolicyKind::kCurrentLoad;
+  /// Pool mechanism. The classic servlet pool blocks on a condition
+  /// variable (kQueueing); kNonBlocking turns the router millibottleneck-
+  /// aware, skipping a stalled replica instead of queueing behind it.
+  lb::MechanismKind mechanism = lb::MechanismKind::kQueueing;
+  lb::BalancerConfig balancer;  // busy_recovery etc. for kNonBlocking
+  sim::SimTime link_latency = sim::SimTime::micros(100);
+};
+
+/// The Tomcat-to-MySQL connection layer: a connection pool per replica and
+/// a replica-selection balancer reusing the exact policy/mechanism machinery
+/// studied at the web tier. With `kQueueing` + a cumulative policy it
+/// reproduces the stock behaviour (requests queue behind a stalled
+/// replica); with `current_load` + `kNonBlocking` it applies both remedies
+/// to the database tier.
+class DbRouter {
+ public:
+  DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
+           DbRouterConfig config = {});
+
+  DbRouter(const DbRouter&) = delete;
+  DbRouter& operator=(const DbRouter&) = delete;
+
+  /// One DB round trip: select a replica, hold a pooled connection for the
+  /// duration, run `demand` on the replica, return. `done` always fires;
+  /// unroutable queries (every replica sidelined under kNonBlocking) count
+  /// as errors and complete immediately — the servlet surfaces a SQL error
+  /// rather than hanging.
+  void query(const proto::RequestPtr& req, sim::SimTime demand,
+             std::function<void()> done);
+
+  int num_replicas() const { return balancer_->num_workers(); }
+  MySqlServer& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
+  lb::LoadBalancer& balancer() { return *balancer_; }
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t queries_routed() const { return routed_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<MySqlServer*> replicas_;
+  DbRouterConfig config_;
+  net::Link link_;
+  std::unique_ptr<lb::LoadBalancer> balancer_;
+  std::uint64_t errors_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace ntier::server

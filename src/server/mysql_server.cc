@@ -1,0 +1,41 @@
+#include "server/mysql_server.h"
+
+namespace ntier::server {
+
+MySqlServer::MySqlServer(sim::Simulation& simu, os::Node& node,
+                         MySqlConfig config, sim::SimTime trace_window)
+    : sim_(simu), node_(node), config_(config), queue_trace_(trace_window) {}
+
+void MySqlServer::execute(sim::SimTime demand, std::function<void()> done) {
+  ++resident_;
+  queue_trace_.set(sim_.now(), resident_);
+  if (executing_ < config_.max_connections) {
+    start(demand, std::move(done));
+  } else {
+    waiting_.emplace_back(demand, std::move(done));
+  }
+}
+
+void MySqlServer::start(sim::SimTime demand, std::function<void()> done) {
+  ++executing_;
+  node_.cpu().submit(demand, [this, done = std::move(done)] {
+    on_query_done();
+    if (done) done();
+  });
+}
+
+void MySqlServer::on_query_done() {
+  --executing_;
+  --resident_;
+  ++served_;
+  if (config_.log_bytes_per_query > 0)
+    node_.page_cache().write_dirty(config_.log_bytes_per_query);
+  queue_trace_.set(sim_.now(), resident_);
+  if (!waiting_.empty() && executing_ < config_.max_connections) {
+    auto [demand, done] = std::move(waiting_.front());
+    waiting_.pop_front();
+    start(demand, std::move(done));
+  }
+}
+
+}  // namespace ntier::server

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "metrics/time_series.h"
+#include "os/node.h"
+#include "sim/simulation.h"
+
+namespace ntier::server {
+
+struct MySqlConfig {
+  /// Server-side concurrency cap (max_connections is far above what 4
+  /// Tomcats × 48-connection pools can open; kept for completeness).
+  int max_connections = 400;
+  /// Dirty bytes written per query (binlog / InnoDB log), fuelling
+  /// DB-side millibottleneck experiments. Zero in the paper's setup, where
+  /// the flush problem lives on the Tomcat tier.
+  std::uint32_t log_bytes_per_query = 0;
+};
+
+/// Database tier. The paper's MySQL is never the bottleneck (Fig. 2(b): no
+/// queue peaks): it executes query CPU demands — cheap when the 10 MB query
+/// cache hits — and stays lightly loaded. Concurrency beyond the connection
+/// cap queues FIFO.
+class MySqlServer {
+ public:
+  MySqlServer(sim::Simulation& simu, os::Node& node, MySqlConfig config = {},
+              sim::SimTime trace_window = sim::SimTime::millis(50));
+
+  MySqlServer(const MySqlServer&) = delete;
+  MySqlServer& operator=(const MySqlServer&) = delete;
+
+  /// Execute one query of the given CPU demand; `done` fires on completion.
+  void execute(sim::SimTime demand, std::function<void()> done);
+
+  /// Queries resident (queued + executing) — the MySQL tier queue series.
+  int resident() const { return resident_; }
+  const metrics::GaugeSeries& queue_trace() const { return queue_trace_; }
+  void finish_traces() { queue_trace_.finish(sim_.now()); }
+
+  std::uint64_t queries_served() const { return served_; }
+  os::Node& node() { return node_; }
+
+ private:
+  void start(sim::SimTime demand, std::function<void()> done);
+  void on_query_done();
+
+  sim::Simulation& sim_;
+  os::Node& node_;
+  MySqlConfig config_;
+  int executing_ = 0;
+  int resident_ = 0;
+  std::uint64_t served_ = 0;
+  std::deque<std::pair<sim::SimTime, std::function<void()>>> waiting_;
+  metrics::GaugeSeries queue_trace_;
+};
+
+}  // namespace ntier::server

@@ -1,0 +1,82 @@
+#include "server/tomcat_server.h"
+
+namespace ntier::server {
+
+TomcatServer::TomcatServer(sim::Simulation& simu, os::Node& node, int id,
+                           DbRouter& db, TomcatConfig config,
+                           sim::SimTime trace_window)
+    : sim_(simu),
+      node_(node),
+      id_(id),
+      db_(db),
+      config_(config),
+      queue_trace_(trace_window),
+      completions_(trace_window) {}
+
+bool TomcatServer::submit(const proto::RequestPtr& req, RespondFn respond) {
+  if (connector_queue_.size() >= config_.connector_backlog &&
+      threads_busy_ >= config_.max_threads) {
+    ++connector_drops_;
+    return false;
+  }
+  ++resident_;
+  queue_trace_.set(sim_.now(), resident_);
+  connector_queue_.push_back(Work{req, std::move(respond)});
+  dispatch();
+  return true;
+}
+
+void TomcatServer::dispatch() {
+  while (threads_busy_ < config_.max_threads && !connector_queue_.empty()) {
+    Work w = std::move(connector_queue_.front());
+    connector_queue_.pop_front();
+    ++threads_busy_;
+    run(std::move(w));
+  }
+}
+
+void TomcatServer::run(Work w) {
+  // Servlet CPU first, then the DB round trips, mirroring the
+  // request-handling path (rendering happens around the queries; collapsing
+  // the CPU into one job keeps the same total demand).
+  auto req = w.req;
+  node_.cpu().submit(req->tomcat_demand, [this, w = std::move(w)]() mutable {
+    // Copy the handle out before the capture moves `w` (argument evaluation
+    // order is unspecified).
+    auto r = w.req;
+    const int queries = r->db_queries;
+    db_round_trips(r, queries, [this, w = std::move(w)] { complete(w); });
+  });
+}
+
+void TomcatServer::db_round_trips(const proto::RequestPtr& req, int remaining,
+                                  std::function<void()> done) {
+  if (remaining <= 0) {
+    done();
+    return;
+  }
+  // Each round trip checks a connection out of the router's pool and back
+  // in, as the RUBBoS servlets do per query.
+  db_.query(req, req->mysql_demand,
+            [this, req, remaining, done = std::move(done)]() mutable {
+              db_round_trips(req, remaining - 1, std::move(done));
+            });
+}
+
+void TomcatServer::complete(const Work& w) {
+  // Access/servlet/localhost log records become dirty pages (§III-B). If
+  // the node's dirty throttle is configured and tripped, the servlet thread
+  // parks inside the log write (balance_dirty_pages) and the response waits
+  // for writeback — thread-pool starvation as a second stall mode.
+  node_.page_cache().write_dirty_throttled(w.req->log_bytes, [this, w] {
+    --threads_busy_;
+    --resident_;
+    ++served_;
+    queue_trace_.set(sim_.now(), resident_);
+    completions_.record(sim_.now(), 1.0);
+    w.respond(w.req);
+    dispatch();
+  });
+}
+
+}  // namespace ntier::server

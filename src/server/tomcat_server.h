@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "metrics/time_series.h"
+#include "os/node.h"
+#include "proto/request.h"
+#include "server/db_router.h"
+#include "sim/simulation.h"
+
+namespace ntier::server {
+
+struct TomcatConfig {
+  /// Servlet thread pool (paper Table III: maxThreads 210).
+  int max_threads = 210;
+  /// AJP connector backlog. Not the drop site in the paper (the Apache-side
+  /// endpoint pool caps in-flight below this), but bounded for realism.
+  std::size_t connector_backlog = 1024;
+};
+
+/// Application tier. Each request: servlet CPU work, `db_queries` sequential
+/// MySQL round trips through the DbRouter (bounded connection pools, one per
+/// replica), then a log write that dirties the node's page cache — the fuel
+/// for pdflush's millibottlenecks (§III-B: the dirty pages "mainly are
+/// Tomcat logs").
+class TomcatServer {
+ public:
+  using RespondFn = std::function<void(const proto::RequestPtr&)>;
+
+  TomcatServer(sim::Simulation& simu, os::Node& node, int id, DbRouter& db,
+               TomcatConfig config = {},
+               sim::SimTime trace_window = sim::SimTime::millis(50));
+
+  TomcatServer(const TomcatServer&) = delete;
+  TomcatServer& operator=(const TomcatServer&) = delete;
+
+  /// Deliver a request over an (already-acquired) AJP connection. `respond`
+  /// fires at this server once processing finishes; the caller adds the
+  /// return-link latency. Returns false only on connector-backlog overflow.
+  bool submit(const proto::RequestPtr& req, RespondFn respond);
+
+  int id() const { return id_; }
+  os::Node& node() { return node_; }
+  DbRouter& db() { return db_; }
+
+  /// Requests physically resident in this Tomcat (connector queue + threads).
+  int resident() const { return resident_; }
+  const metrics::GaugeSeries& queue_trace() const { return queue_trace_; }
+  /// Per-window count of completed requests — the fine-grained throughput
+  /// signal the dip detector consumes.
+  const metrics::TimeSeries& completion_trace() const { return completions_; }
+  void finish_traces() { queue_trace_.finish(sim_.now()); }
+
+  std::uint64_t served() const { return served_; }
+  std::uint64_t connector_drops() const { return connector_drops_; }
+  int threads_busy() const { return threads_busy_; }
+
+ private:
+  struct Work {
+    proto::RequestPtr req;
+    RespondFn respond;
+  };
+  void dispatch();
+  void run(Work w);
+  void db_round_trips(const proto::RequestPtr& req, int remaining,
+                      std::function<void()> done);
+  void complete(const Work& w);
+
+  sim::Simulation& sim_;
+  os::Node& node_;
+  int id_;
+  DbRouter& db_;
+  TomcatConfig config_;
+
+  std::deque<Work> connector_queue_;
+  int threads_busy_ = 0;
+  int resident_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t connector_drops_ = 0;
+  metrics::GaugeSeries queue_trace_;
+  metrics::TimeSeries completions_;
+};
+
+}  // namespace ntier::server

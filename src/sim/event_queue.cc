@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ntier::sim {
+
+EventId EventQueue::push(SimTime at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (live_.erase(id) == 0) return false;  // unknown, fired, or cancelled
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skip_cancelled();
+  if (heap_.empty()) return SimTime::max();
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  Fired f{heap_.top().at, std::move(heap_.top().fn)};
+  live_.erase(heap_.top().id);
+  heap_.pop();
+  return f;
+}
+
+}  // namespace ntier::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::sim {
+
+/// Identifier of a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timed callbacks. Ties are broken by scheduling order (FIFO
+/// among events at the same instant) so runs are deterministic.
+/// Cancellation is lazy: cancelled ids are skipped at pop time.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`. Returns an id for cancellation.
+  EventId push(SimTime at, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() const { return live_.empty(); }
+
+  std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event; SimTime::max() when empty.
+  SimTime next_time() const;
+
+  /// Pop the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime at;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (stats / microbench instrumentation).
+  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id = kInvalidEventId;
+    // shared_ptr-free: the callback lives in the heap entry itself.
+    mutable std::function<void()> fn;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;  // cancelled, still in heap
+  std::unordered_set<EventId> live_;               // in heap, not cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace ntier::sim

@@ -1,0 +1,35 @@
+#include "sim/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntier::sim {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) throw std::invalid_argument("weighted_index: non-positive total weight");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be positive");
+  // Inverse-CDF via the harmonic normaliser; n is small (catalogue of query
+  // templates), so a linear scan is fine and exact.
+  double h = 0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), s);
+  double x = uniform01() * h;
+  for (std::size_t i = 1; i <= n; ++i) {
+    x -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (x < 0) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace ntier::sim

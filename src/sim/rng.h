@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::sim {
+
+/// Deterministic random source for the simulator. Every stochastic component
+/// takes an Rng (or forks one from a parent) so that a run is fully
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child stream; used to give each client / server /
+  /// injector its own stream so component insertion order does not perturb
+  /// other components' draws.
+  Rng fork() { return Rng(engine_()); }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform in [0, 1).
+  double uniform01() {
+    return std::generate_canonical<double, 53>(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Exponential inter-arrival / think time as a SimTime.
+  SimTime exponential_time(SimTime mean) {
+    return SimTime::from_seconds(exponential(mean.to_seconds()));
+  }
+
+  /// Log-normal parameterised by the mean and sigma of the *result*
+  /// distribution (not of the underlying normal). Used for service-demand
+  /// jitter.
+  double lognormal_mean(double mean, double cv) {
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Draw an index from a discrete distribution given (unnormalised) weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (popularity skew for
+  /// query-cache modelling).
+  std::size_t zipf(std::size_t n, double s);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ntier::sim

@@ -1,0 +1,23 @@
+#include "sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ntier::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns_) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+}  // namespace ntier::sim

@@ -1,0 +1,134 @@
+#include "workload/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntier::workload {
+
+ClientPopulation::ClientPopulation(sim::Simulation& simu, ClientParams params,
+                                   const RubbosWorkload& workload,
+                                   std::vector<proto::FrontEnd*> frontends,
+                                   metrics::RequestLog& log)
+    : sim_(simu),
+      params_(params),
+      workload_(workload),
+      frontends_(std::move(frontends)),
+      log_(log),
+      link_(params.link_latency),
+      rng_(simu.rng().fork()) {
+  if (frontends_.empty())
+    throw std::invalid_argument("ClientPopulation: no front-ends");
+  if (params_.num_clients <= 0)
+    throw std::invalid_argument("ClientPopulation: no clients");
+  if (params_.sticky_sessions)
+    routes_.assign(
+        static_cast<std::size_t>(std::min(params_.num_clients, 65536)), -1);
+  if (workload_.params().markov_sessions)
+    prev_.assign(
+        static_cast<std::size_t>(std::min(params_.num_clients, 65536)), -1);
+}
+
+void ClientPopulation::toggle_burst() {
+  in_burst_ = !in_burst_;
+  const sim::SimTime mean =
+      in_burst_ ? params_.burst_on_mean : params_.burst_off_mean;
+  sim_.after(rng_.exponential_time(mean), [this] { toggle_burst(); });
+}
+
+void ClientPopulation::start() {
+  if (params_.bursty)
+    sim_.after(rng_.exponential_time(params_.burst_off_mean),
+               [this] { toggle_burst(); });
+  for (int c = 0; c < params_.num_clients; ++c) {
+    // The id wraps at 64 k; it only labels records and spreads clients over
+    // the front-ends, both of which survive the wrap unchanged.
+    const auto client = static_cast<std::uint16_t>(c % 65536);
+    const sim::SimTime offset = sim::SimTime::from_seconds(
+        rng_.uniform(0.0, params_.ramp.to_seconds()));
+    sim_.after(offset, [this, client] { issue(client); });
+  }
+}
+
+void ClientPopulation::issue(std::uint16_t client) {
+  const int prev =
+      prev_.empty() ? -1 : static_cast<int>(prev_[client % prev_.size()]);
+  auto req = workload_.make_request(rng_, next_request_id_++, client, prev);
+  if (!prev_.empty())
+    prev_[client % prev_.size()] = static_cast<std::int16_t>(req->interaction);
+  req->client_start = sim_.now();
+  req->apache_id = static_cast<std::int16_t>(client % frontends_.size());
+  if (!routes_.empty())
+    req->session_route = routes_[client % routes_.size()];
+  ++issued_;
+  if (issue_hook_) issue_hook_(sim_.now(), client, req->interaction);
+  attempt(client, req, 0);
+}
+
+void ClientPopulation::attempt(std::uint16_t client,
+                               const proto::RequestPtr& req,
+                               std::size_t tries) {
+  // SYN travels one link latency; acceptance or silent drop happens at the
+  // server side. A drop is only discovered by the retransmission timer.
+  link_.deliver(sim_, [this, client, req, tries] {
+    auto* fe = frontends_[static_cast<std::size_t>(req->apache_id)];
+    const bool accepted = fe->try_submit(
+        req, [this, client](const proto::RequestPtr& r, bool ok) {
+          // Response travels back to the client.
+          link_.deliver(sim_, [this, client, r, ok] {
+            finish(client, r,
+                   ok ? metrics::RequestOutcome::kOk
+                      : metrics::RequestOutcome::kBalancerError);
+          });
+        });
+    if (!accepted) {
+      ++connection_drops_;
+      if (tries < params_.retransmit.max_retries()) {
+        req->retransmissions =
+            static_cast<std::uint8_t>(req->retransmissions + 1);
+        sim_.after(params_.retransmit.delay(tries),
+                   [this, client, req, tries] { attempt(client, req, tries + 1); });
+      } else {
+        finish(client, req, metrics::RequestOutcome::kDropped);
+      }
+    }
+  });
+}
+
+void ClientPopulation::finish(std::uint16_t client, const proto::RequestPtr& req,
+                              metrics::RequestOutcome outcome) {
+  switch (outcome) {
+    case metrics::RequestOutcome::kOk: ++completed_ok_; break;
+    case metrics::RequestOutcome::kDropped: ++dropped_; break;
+    case metrics::RequestOutcome::kBalancerError: ++failed_; break;
+    case metrics::RequestOutcome::kInFlight: break;
+  }
+  if (!routes_.empty() && outcome == metrics::RequestOutcome::kOk &&
+      req->tomcat_id >= 0)
+    routes_[client % routes_.size()] = req->tomcat_id;
+  if (req->client_start >= params_.warmup) {
+    metrics::RequestRecord rec;
+    rec.id = req->id;
+    rec.interaction = req->interaction;
+    rec.apache = req->apache_id;
+    rec.tomcat = req->tomcat_id;
+    rec.retransmissions = req->retransmissions;
+    rec.outcome = outcome;
+    rec.start = req->client_start;
+    rec.end = sim_.now();
+    rec.accepted_at = req->accepted_at;
+    rec.assigned_at = req->assigned_at;
+    rec.backend_done_at = req->backend_done_at;
+    log_.on_complete(rec);
+  }
+  think_then_next(client);
+}
+
+void ClientPopulation::think_then_next(std::uint16_t client) {
+  sim::SimTime think = rng_.exponential_time(params_.think_mean);
+  if (in_burst_)
+    think = sim::SimTime::from_seconds(think.to_seconds() /
+                                       params_.burst_multiplier);
+  sim_.after(think, [this, client] { issue(client); });
+}
+
+}  // namespace ntier::workload

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/request_log.h"
+#include "net/link.h"
+#include "net/retransmit.h"
+#include "proto/frontend.h"
+#include "sim/simulation.h"
+#include "workload/rubbos.h"
+
+namespace ntier::workload {
+
+/// Closed-loop client parameters. The paper drives 70 000 clients from
+/// 8 client nodes with RUBBoS's think-time model; the scaled default keeps
+/// the same offered load with fewer (faster-thinking) clients.
+struct ClientParams {
+  int num_clients = 70'000;
+  sim::SimTime think_mean = sim::SimTime::seconds(7);
+  /// Clients issue their first request uniformly inside this window so the
+  /// system starts near steady state instead of with a thundering herd.
+  sim::SimTime ramp = sim::SimTime::seconds(7);
+  /// Completions before this instant are not recorded (warm-up).
+  sim::SimTime warmup = sim::SimTime::zero();
+  net::RetransmitSchedule retransmit;
+  sim::SimTime link_latency = sim::SimTime::micros(100);
+  /// Sticky sessions: after the first successful interaction a client tags
+  /// every later request with the Tomcat that served it (mod_jk jvmRoute).
+  bool sticky_sessions = false;
+  /// Bursty arrivals (one of the paper's cited millibottleneck causes): the
+  /// whole population alternates between normal and burst phases; during a
+  /// burst, think times are divided by `burst_multiplier`.
+  bool bursty = false;
+  sim::SimTime burst_on_mean = sim::SimTime::millis(400);
+  sim::SimTime burst_off_mean = sim::SimTime::seconds(4);
+  double burst_multiplier = 4.0;
+};
+
+/// The client tier: each client loops {think, pick interaction, connect —
+/// retrying dropped attempts on the retransmission schedule — await
+/// response}. Clients are statically partitioned across the front-ends
+/// exactly as the paper wires client nodes to Apaches.
+class ClientPopulation {
+ public:
+  ClientPopulation(sim::Simulation& simu, ClientParams params,
+                   const RubbosWorkload& workload,
+                   std::vector<proto::FrontEnd*> frontends,
+                   metrics::RequestLog& log);
+
+  ClientPopulation(const ClientPopulation&) = delete;
+  ClientPopulation& operator=(const ClientPopulation&) = delete;
+
+  /// Schedule every client's first request. Call once before running.
+  void start();
+
+  /// Observation hook fired at every issued request (arrival-trace
+  /// recording); set before start().
+  using IssueHook =
+      std::function<void(sim::SimTime at, std::uint16_t client,
+                         std::uint16_t interaction)>;
+  void set_issue_hook(IssueHook hook) { issue_hook_ = std::move(hook); }
+
+  // -- counters (request conservation checks) --------------------------------
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed_ok() const { return completed_ok_; }
+  std::uint64_t failed() const { return failed_; }      // balancer errors
+  std::uint64_t dropped() const { return dropped_; }    // retries exhausted
+  std::uint64_t in_flight() const {
+    return issued_ - completed_ok_ - failed_ - dropped_;
+  }
+  std::uint64_t connection_drops() const { return connection_drops_; }
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  void issue(std::uint16_t client);
+  void attempt(std::uint16_t client, const proto::RequestPtr& req,
+               std::size_t tries);
+  void finish(std::uint16_t client, const proto::RequestPtr& req,
+              metrics::RequestOutcome outcome);
+  void think_then_next(std::uint16_t client);
+  void toggle_burst();
+
+  sim::Simulation& sim_;
+  ClientParams params_;
+  const RubbosWorkload& workload_;
+  std::vector<proto::FrontEnd*> frontends_;
+  metrics::RequestLog& log_;
+  net::Link link_;
+  sim::Rng rng_;
+
+  std::vector<std::int16_t> routes_;  // per-client sticky route
+  std::vector<std::int16_t> prev_;    // per-client last interaction (Markov)
+  IssueHook issue_hook_;
+  bool in_burst_ = false;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ok_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t connection_drops_ = 0;
+};
+
+}  // namespace ntier::workload

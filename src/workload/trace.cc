@@ -1,0 +1,129 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ntier::workload {
+
+void ArrivalTrace::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void ArrivalTrace::save(std::ostream& os) const {
+  os << "at_s,client,interaction\n";
+  for (const auto& e : events_)
+    os << e.at.to_seconds() << ',' << e.client << ',' << e.interaction << '\n';
+}
+
+ArrivalTrace ArrivalTrace::load(std::istream& is) {
+  ArrivalTrace trace;
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("at_s,", 0) != 0)
+    throw std::invalid_argument("ArrivalTrace::load: missing header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string at_s, client_s, interaction_s;
+    if (!std::getline(row, at_s, ',') || !std::getline(row, client_s, ',') ||
+        !std::getline(row, interaction_s))
+      throw std::invalid_argument("ArrivalTrace::load: bad row: " + line);
+    trace.add(sim::SimTime::from_seconds(std::stod(at_s)),
+              static_cast<std::uint16_t>(std::stoul(client_s)),
+              static_cast<std::uint16_t>(std::stoul(interaction_s)));
+  }
+  return trace;
+}
+
+void ArrivalTrace::scale_time(double factor) {
+  if (factor <= 0)
+    throw std::invalid_argument("ArrivalTrace::scale_time: factor must be > 0");
+  for (auto& e : events_)
+    e.at = sim::SimTime::from_seconds(e.at.to_seconds() * factor);
+}
+
+TraceReplayer::TraceReplayer(sim::Simulation& simu, const ArrivalTrace& trace,
+                             const RubbosWorkload& workload,
+                             std::vector<proto::FrontEnd*> frontends,
+                             metrics::RequestLog& log,
+                             net::RetransmitSchedule retransmit,
+                             sim::SimTime link_latency)
+    : sim_(simu),
+      trace_(trace),
+      workload_(workload),
+      frontends_(std::move(frontends)),
+      log_(log),
+      retransmit_(std::move(retransmit)),
+      link_(link_latency),
+      rng_(simu.rng().fork()) {
+  if (frontends_.empty())
+    throw std::invalid_argument("TraceReplayer: no front-ends");
+}
+
+void TraceReplayer::start() {
+  for (const auto& ev : trace_.events()) {
+    if (ev.at < sim_.now())
+      throw std::logic_error("TraceReplayer: trace event in the past");
+    sim_.at(ev.at, [this, ev] { issue(ev); });
+  }
+}
+
+void TraceReplayer::issue(const ArrivalEvent& ev) {
+  auto req = workload_.materialize(rng_, next_id_++, ev.client, ev.interaction);
+  req->client_start = sim_.now();
+  req->apache_id = static_cast<std::int16_t>(ev.client % frontends_.size());
+  ++issued_;
+  attempt(req, 0);
+}
+
+void TraceReplayer::attempt(const proto::RequestPtr& req, std::size_t tries) {
+  link_.deliver(sim_, [this, req, tries] {
+    auto* fe = frontends_[static_cast<std::size_t>(req->apache_id)];
+    const bool accepted =
+        fe->try_submit(req, [this](const proto::RequestPtr& r, bool ok) {
+          link_.deliver(sim_, [this, r, ok] {
+            finish(r, ok ? metrics::RequestOutcome::kOk
+                         : metrics::RequestOutcome::kBalancerError);
+          });
+        });
+    if (!accepted) {
+      ++connection_drops_;
+      if (tries < retransmit_.max_retries()) {
+        req->retransmissions =
+            static_cast<std::uint8_t>(req->retransmissions + 1);
+        sim_.after(retransmit_.delay(tries),
+                   [this, req, tries] { attempt(req, tries + 1); });
+      } else {
+        finish(req, metrics::RequestOutcome::kDropped);
+      }
+    }
+  });
+}
+
+void TraceReplayer::finish(const proto::RequestPtr& req,
+                           metrics::RequestOutcome outcome) {
+  switch (outcome) {
+    case metrics::RequestOutcome::kOk: ++completed_ok_; break;
+    case metrics::RequestOutcome::kDropped: ++dropped_; break;
+    case metrics::RequestOutcome::kBalancerError: ++failed_; break;
+    case metrics::RequestOutcome::kInFlight: break;
+  }
+  metrics::RequestRecord rec;
+  rec.id = req->id;
+  rec.interaction = req->interaction;
+  rec.apache = req->apache_id;
+  rec.tomcat = req->tomcat_id;
+  rec.retransmissions = req->retransmissions;
+  rec.outcome = outcome;
+  rec.start = req->client_start;
+  rec.end = sim_.now();
+  rec.accepted_at = req->accepted_at;
+  rec.assigned_at = req->assigned_at;
+  rec.backend_done_at = req->backend_done_at;
+  log_.on_complete(rec);
+}
+
+}  // namespace ntier::workload

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "metrics/request_log.h"
+#include "net/link.h"
+#include "net/retransmit.h"
+#include "proto/frontend.h"
+#include "sim/simulation.h"
+#include "workload/rubbos.h"
+
+namespace ntier::workload {
+
+/// One arrival of a request trace: who asked for what, when.
+struct ArrivalEvent {
+  sim::SimTime at;
+  std::uint16_t client = 0;
+  std::uint16_t interaction = 0;
+};
+
+/// A recorded (or hand-built) arrival trace: the open-loop counterpart of
+/// the closed-loop client population. Stand-in for the production traces
+/// the paper's methodology would consume; CSV round-trips so traces can be
+/// shipped, edited and replayed.
+class ArrivalTrace {
+ public:
+  void add(sim::SimTime at, std::uint16_t client, std::uint16_t interaction) {
+    events_.push_back(ArrivalEvent{at, client, interaction});
+  }
+
+  const std::vector<ArrivalEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Restore arrival-time order (recording is already ordered; edits and
+  /// merges may not be).
+  void sort();
+
+  /// CSV: at_s,client,interaction — one row per arrival.
+  void save(std::ostream& os) const;
+  static ArrivalTrace load(std::istream& is);
+
+  /// Uniformly time-scale the trace (replay at 2x the recorded rate, etc.).
+  void scale_time(double factor);
+
+ private:
+  std::vector<ArrivalEvent> events_;
+};
+
+/// Open-loop replayer: issues the trace's requests against the front-ends
+/// at their recorded instants, with the same SYN-retransmission behaviour
+/// as the closed-loop clients. Unlike the closed loop, arrivals do not slow
+/// down when the system does — the standard trace-replay caveat, useful
+/// precisely because it preserves burst shapes.
+class TraceReplayer {
+ public:
+  TraceReplayer(sim::Simulation& simu, const ArrivalTrace& trace,
+                const RubbosWorkload& workload,
+                std::vector<proto::FrontEnd*> frontends,
+                metrics::RequestLog& log,
+                net::RetransmitSchedule retransmit = {},
+                sim::SimTime link_latency = sim::SimTime::micros(100));
+
+  TraceReplayer(const TraceReplayer&) = delete;
+  TraceReplayer& operator=(const TraceReplayer&) = delete;
+
+  /// Schedule every arrival. Call once before running the simulation.
+  void start();
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed_ok() const { return completed_ok_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t connection_drops() const { return connection_drops_; }
+
+ private:
+  void issue(const ArrivalEvent& ev);
+  void attempt(const proto::RequestPtr& req, std::size_t tries);
+  void finish(const proto::RequestPtr& req, metrics::RequestOutcome outcome);
+
+  sim::Simulation& sim_;
+  const ArrivalTrace& trace_;
+  const RubbosWorkload& workload_;
+  std::vector<proto::FrontEnd*> frontends_;
+  metrics::RequestLog& log_;
+  net::RetransmitSchedule retransmit_;
+  net::Link link_;
+  sim::Rng rng_;
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ok_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t connection_drops_ = 0;
+};
+
+}  // namespace ntier::workload

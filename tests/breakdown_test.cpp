@@ -1,0 +1,123 @@
+#include "metrics/breakdown.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/experiment.h"
+#include "test_util.h"
+
+namespace ntier::metrics {
+namespace {
+
+using sim::SimTime;
+
+RequestRecord make_record(double connect_ms, double balancing_ms,
+                          double backend_ms, double reply_ms) {
+  RequestRecord r;
+  r.outcome = RequestOutcome::kOk;
+  r.start = SimTime::seconds(1);
+  r.accepted_at = r.start + SimTime::from_millis(connect_ms);
+  r.assigned_at = r.accepted_at + SimTime::from_millis(balancing_ms);
+  r.backend_done_at = r.assigned_at + SimTime::from_millis(backend_ms);
+  r.end = r.backend_done_at + SimTime::from_millis(reply_ms);
+  return r;
+}
+
+TEST(LatencyBreakdown, DecomposesSegments) {
+  LatencyBreakdown b;
+  b.add(make_record(1.0, 2.0, 4.0, 1.0));
+  EXPECT_EQ(b.requests(), 1);
+  EXPECT_NEAR(b.mean_ms(LatencyBreakdown::kConnect), 1.0, 0.15);
+  EXPECT_NEAR(b.mean_ms(LatencyBreakdown::kBalancing), 2.0, 0.3);
+  EXPECT_NEAR(b.mean_ms(LatencyBreakdown::kBackend), 4.0, 0.6);
+  EXPECT_NEAR(b.share(LatencyBreakdown::kBackend), 0.5, 0.05);
+}
+
+TEST(LatencyBreakdown, SkipsFailedOrPartialRecords) {
+  LatencyBreakdown b;
+  RequestRecord dropped;
+  dropped.outcome = RequestOutcome::kDropped;
+  b.add(dropped);
+  RequestRecord never_accepted;  // all hop stamps default to 0 < start
+  never_accepted.outcome = RequestOutcome::kOk;
+  never_accepted.start = SimTime::seconds(5);
+  never_accepted.end = SimTime::seconds(6);
+  b.add(never_accepted);
+  EXPECT_EQ(b.requests(), 0);
+  EXPECT_EQ(b.skipped(), 2);
+}
+
+TEST(LatencyBreakdown, AddAllAndPrint) {
+  LatencyBreakdown b;
+  std::vector<RequestRecord> recs = {make_record(0.1, 0.1, 2.0, 0.1),
+                                     make_record(0.2, 0.3, 3.0, 0.1)};
+  b.add_all(recs);
+  EXPECT_EQ(b.requests(), 2);
+  std::ostringstream os;
+  b.print(os);
+  EXPECT_NE(os.str().find("backend (tomcat + mysql)"), std::string::npos);
+  EXPECT_NE(os.str().find("2 requests"), std::string::npos);
+}
+
+TEST(LatencyBreakdown, SharesSumToOne) {
+  LatencyBreakdown b;
+  b.add(make_record(1.0, 1.0, 1.0, 1.0));
+  double total = 0;
+  for (int s = 0; s < LatencyBreakdown::kNumSegments; ++s)
+    total += b.share(static_cast<LatencyBreakdown::Segment>(s));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LatencyBreakdown, EndToEndStampsAreConsistent) {
+  // Run the real testbed with record keeping and decompose: the segment sum
+  // must reconstruct each request's total response time.
+  auto cfg = experiment::testing::quick_config(
+      lb::PolicyKind::kCurrentLoad, lb::MechanismKind::kNonBlocking,
+      /*millibottlenecks=*/false, sim::SimTime::seconds(5));
+  cfg.keep_records = true;
+  auto e = experiment::testing::run(std::move(cfg));
+  ASSERT_FALSE(e->log().records().empty());
+
+  LatencyBreakdown b;
+  b.add_all(e->log().records());
+  EXPECT_GT(b.requests(), 1000);
+  EXPECT_EQ(b.skipped(), 0);
+  // In a healthy run the backend dominates; connect is two link hops.
+  EXPECT_GT(b.share(LatencyBreakdown::kBackend), 0.4);
+  EXPECT_LT(b.mean_ms(LatencyBreakdown::kConnect), 1.0);
+  // Segment means must sum to the log's mean response time.
+  double total = 0;
+  for (int s = 0; s < LatencyBreakdown::kNumSegments; ++s)
+    total += b.mean_ms(static_cast<LatencyBreakdown::Segment>(s));
+  EXPECT_NEAR(total, e->log().mean_response_ms(),
+              0.15 * e->log().mean_response_ms());
+}
+
+TEST(LatencyBreakdown, MillibottlenecksInflateConnectAndBalancing) {
+  auto stock_cfg = experiment::testing::quick_config(
+      lb::PolicyKind::kTotalRequest, lb::MechanismKind::kBlocking, true,
+      sim::SimTime::seconds(12));
+  stock_cfg.keep_records = true;
+  auto stock = experiment::testing::run(std::move(stock_cfg));
+  LatencyBreakdown unstable;
+  unstable.add_all(stock->log().records());
+
+  auto remedy_cfg = experiment::testing::quick_config(
+      lb::PolicyKind::kCurrentLoad, lb::MechanismKind::kNonBlocking, true,
+      sim::SimTime::seconds(12));
+  remedy_cfg.keep_records = true;
+  auto remedy = experiment::testing::run(std::move(remedy_cfg));
+  LatencyBreakdown healthy;
+  healthy.add_all(remedy->log().records());
+
+  // The amplification lives in the front half of the path: SYN retries and
+  // workers parked in get_endpoint / the accept queue.
+  EXPECT_GT(unstable.mean_ms(LatencyBreakdown::kConnect) +
+                unstable.mean_ms(LatencyBreakdown::kBalancing),
+            10 * (healthy.mean_ms(LatencyBreakdown::kConnect) +
+                  healthy.mean_ms(LatencyBreakdown::kBalancing)));
+}
+
+}  // namespace
+}  // namespace ntier::metrics

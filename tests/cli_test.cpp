@@ -1,0 +1,172 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ntier::cli {
+namespace {
+
+ParseResult parse(std::initializer_list<std::string> args) {
+  return parse_cli(std::vector<std::string>(args));
+}
+
+TEST(Cli, DefaultsAreTheScaledPreset) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.ok());
+  const auto& c = r.options->config;
+  EXPECT_EQ(c.num_clients, 7'000);
+  EXPECT_EQ(c.num_apaches, 4);
+  EXPECT_EQ(c.policy, lb::PolicyKind::kTotalRequest);
+  EXPECT_EQ(c.mechanism, lb::MechanismKind::kBlocking);
+  EXPECT_TRUE(c.tomcat_millibottlenecks);
+  EXPECT_FALSE(r.options->quiet);
+}
+
+TEST(Cli, ParsesPolicyAndMechanism) {
+  const auto r = parse({"--policy", "current_load", "--mechanism", "modified"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->config.policy, lb::PolicyKind::kCurrentLoad);
+  EXPECT_EQ(r.options->config.mechanism, lb::MechanismKind::kNonBlocking);
+}
+
+TEST(Cli, ParsesEveryPolicyName) {
+  for (const char* name : {"total_request", "total_traffic", "current_load",
+                           "round_robin", "random", "two_choices"}) {
+    const auto r = parse({"--policy", name});
+    EXPECT_TRUE(r.ok()) << name;
+  }
+}
+
+TEST(Cli, ParsesScaleFlags) {
+  const auto r = parse({"--clients", "1000", "--think-ms", "100",
+                        "--duration-s", "12.5", "--seed", "9", "--tomcats",
+                        "8", "--mysql", "2"});
+  ASSERT_TRUE(r.ok());
+  const auto& c = r.options->config;
+  EXPECT_EQ(c.num_clients, 1000);
+  EXPECT_EQ(c.think_mean, sim::SimTime::millis(100));
+  EXPECT_EQ(c.duration, sim::SimTime::from_seconds(12.5));
+  EXPECT_EQ(c.seed, 9u);
+  EXPECT_EQ(c.num_tomcats, 8);
+  EXPECT_EQ(c.num_mysql, 2);
+}
+
+TEST(Cli, FullExpandsToPaperScale) {
+  const auto r = parse({"--full"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->config.num_clients, 70'000);
+  EXPECT_EQ(r.options->config.duration, sim::SimTime::seconds(180));
+}
+
+TEST(Cli, EnvironmentFlags) {
+  const auto r = parse({"--no-millibottlenecks", "--sticky", "--bursty", "6",
+                        "--mix", "browse_only", "--stall-source", "gc"});
+  ASSERT_TRUE(r.ok());
+  const auto& c = r.options->config;
+  EXPECT_FALSE(c.tomcat_millibottlenecks);
+  EXPECT_TRUE(c.sticky_sessions);
+  EXPECT_TRUE(c.bursty_workload);
+  EXPECT_DOUBLE_EQ(c.burst_multiplier, 6.0);
+  EXPECT_EQ(c.workload.mix, workload::Mix::kBrowseOnly);
+  EXPECT_EQ(c.tomcat_stall_source, experiment::StallSource::kGcPause);
+}
+
+TEST(Cli, OutputFlags) {
+  const auto r = parse({"--json", "/tmp/x.json", "--csv", "/tmp/d", "--quiet"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->json_path, "/tmp/x.json");
+  EXPECT_EQ(r.options->csv_dir, "/tmp/d");
+  EXPECT_TRUE(r.options->quiet);
+}
+
+TEST(Cli, HelpFlag) {
+  const auto r = parse({"--help"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.options->help);
+  EXPECT_NE(usage_text().find("--policy"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const auto r = parse({"--frobnicate"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadValues) {
+  EXPECT_FALSE(parse({"--clients", "zero"}).ok());
+  EXPECT_FALSE(parse({"--clients", "-5"}).ok());
+  EXPECT_FALSE(parse({"--think-ms"}).ok());           // missing value
+  EXPECT_FALSE(parse({"--policy", "bogus"}).ok());
+  EXPECT_FALSE(parse({"--mechanism", "bogus"}).ok());
+  EXPECT_FALSE(parse({"--stall-source", "cosmic_rays"}).ok());
+  EXPECT_FALSE(parse({"--bursty", "0.5"}).ok());
+  EXPECT_FALSE(parse({"--mix", "chaos"}).ok());
+  EXPECT_FALSE(parse({"--duration-s", "12abc"}).ok());
+}
+
+TEST(Cli, DbRouterFlags) {
+  const auto r = parse({"--db-policy", "current_load", "--db-mechanism",
+                        "modified"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->config.db_router.policy, lb::PolicyKind::kCurrentLoad);
+  EXPECT_EQ(r.options->config.db_router.mechanism,
+            lb::MechanismKind::kNonBlocking);
+}
+
+TEST(Cli, RunCliSmoke) {
+  // A tiny end-to-end run through the CLI surface: 200 clients, 1 s.
+  auto r = parse({"--clients", "200", "--think-ms", "100", "--duration-s", "1",
+                  "--quiet", "--no-millibottlenecks"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(run_cli(*r.options), 0);
+}
+
+TEST(Cli, TraceFlags) {
+  const auto r = parse({"--record-trace", "/tmp/a.csv", "--replay-trace",
+                        "/tmp/b.csv"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->record_trace_path, "/tmp/a.csv");
+  EXPECT_EQ(r.options->replay_trace_path, "/tmp/b.csv");
+  EXPECT_FALSE(parse({"--record-trace"}).ok());
+}
+
+TEST(Cli, RecordThenReplayRoundTrip) {
+  const std::string path = "/tmp/ntier_cli_trace_roundtrip.csv";
+  auto rec = parse({"--clients", "200", "--think-ms", "100", "--duration-s",
+                    "1", "--quiet", "--no-millibottlenecks", "--record-trace",
+                    path});
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(run_cli(*rec.options), 0);
+
+  auto rep = parse({"--duration-s", "2", "--quiet", "--no-millibottlenecks",
+                    "--replay-trace", path});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(run_cli(*rep.options), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ReplayMissingFileFails) {
+  auto rep = parse({"--quiet", "--replay-trace", "/tmp/definitely_missing_42.csv"});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(run_cli(*rep.options), 1);
+}
+
+TEST(Cli, RunCliWritesJson) {
+  const std::string path = "/tmp/ntier_cli_test_summary.json";
+  auto r = parse({"--clients", "200", "--think-ms", "100", "--duration-s", "1",
+                  "--quiet", "--no-millibottlenecks", "--json", path});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(run_cli(*r.options), 0);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"mean_rt_ms\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ntier::cli

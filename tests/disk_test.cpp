@@ -1,0 +1,79 @@
+#include "os/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace ntier::os {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(Disk, WriteTakesBytesOverRate) {
+  Simulation s;
+  Disk d(s, 100.0 * (1 << 20));  // 100 MB/s
+  SimTime done;
+  d.submit_write(10 * (1 << 20), [&] { done = s.now(); });
+  s.run();
+  EXPECT_NEAR(done.to_millis(), 100.0, 0.1);
+}
+
+TEST(Disk, FifoOrdering) {
+  Simulation s;
+  Disk d(s, 1 << 20);
+  std::vector<int> order;
+  d.submit_write(1 << 20, [&] { order.push_back(1); });
+  d.submit_write(1 << 20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_NEAR(s.now().to_seconds(), 2.0, 1e-6);
+}
+
+TEST(Disk, BusyWhileWriting) {
+  Simulation s;
+  Disk d(s, 1 << 20);
+  d.submit_write(1 << 20, [] {});
+  EXPECT_TRUE(d.busy());
+  s.run();
+  EXPECT_FALSE(d.busy());
+}
+
+TEST(Disk, BusySecondsAccumulate) {
+  Simulation s;
+  Disk d(s, 1 << 20);
+  d.submit_write(1 << 19, [] {});  // 0.5 s
+  s.run();
+  s.after(SimTime::seconds(1), [&] { d.submit_write(1 << 19, [] {}); });
+  s.run();
+  EXPECT_NEAR(d.busy_seconds(), 1.0, 1e-6);
+}
+
+TEST(Disk, ProbeBusyFraction) {
+  Simulation s;
+  Disk d(s, 1 << 20);
+  d.submit_write(1 << 19, [] {});  // busy 0.5 s
+  s.run_until(SimTime::seconds(1));
+  EXPECT_NEAR(d.probe_busy_fraction(), 0.5, 1e-6);
+  s.run_until(SimTime::seconds(2));
+  EXPECT_NEAR(d.probe_busy_fraction(), 0.0, 1e-9);
+}
+
+TEST(Disk, QueueDepth) {
+  Simulation s;
+  Disk d(s, 1 << 20);
+  d.submit_write(1 << 20, [] {});
+  d.submit_write(1 << 20, [] {});
+  d.submit_write(1 << 20, [] {});
+  EXPECT_EQ(d.queue_depth(), 3u);
+  s.run();
+  EXPECT_EQ(d.queue_depth(), 0u);
+}
+
+TEST(Disk, RejectsNonPositiveRate) {
+  Simulation s;
+  EXPECT_THROW(Disk(s, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntier::os

@@ -1,0 +1,132 @@
+#include "lb/endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace ntier::lb {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(EndpointPool, AcquireRelease) {
+  EndpointPool pool(2);
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_TRUE(pool.exhausted());
+  EXPECT_FALSE(pool.try_acquire());
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_TRUE(pool.try_acquire());
+}
+
+TEST(EndpointPool, ReleaseUnderflowThrows) {
+  EndpointPool pool(1);
+  EXPECT_THROW(pool.release(), std::logic_error);
+}
+
+TEST(BlockingAcquirer, SucceedsImmediatelyWhenFree) {
+  Simulation s;
+  EndpointPool pool(1);
+  WorkerRecord rec;
+  BlockingAcquirer acq;
+  bool ok = false;
+  acq.acquire(s, pool, rec, [&](bool r) { ok = r; });
+  EXPECT_TRUE(ok);                       // no simulated time consumed
+  EXPECT_EQ(s.now(), SimTime::zero());
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(BlockingAcquirer, FailsAfterExactTimeout) {
+  // Algorithm 1 with defaults: polls at 0/100/200 ms, gives up at 300 ms.
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());  // exhaust
+  WorkerRecord rec;
+  BlockingAcquirer acq;
+  bool done = false, ok = true;
+  acq.acquire(s, pool, rec, [&](bool r) {
+    done = true;
+    ok = r;
+  });
+  EXPECT_FALSE(done);
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(s.now(), SimTime::millis(300));
+}
+
+TEST(BlockingAcquirer, GrabsSlotFreedBetweenPolls) {
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  WorkerRecord rec;
+  BlockingAcquirer acq;
+  SimTime got;
+  acq.acquire(s, pool, rec, [&](bool r) {
+    ASSERT_TRUE(r);
+    got = s.now();
+  });
+  s.after(SimTime::millis(150), [&] { pool.release(); });
+  s.run();
+  // Freed at 150 ms; the next poll is at 200 ms.
+  EXPECT_EQ(got, SimTime::millis(200));
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(BlockingAcquirer, CustomTimeoutParams) {
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  WorkerRecord rec;
+  BlockingAcquirer acq(BlockingAcquirer::Params{SimTime::millis(50),
+                                                SimTime::millis(150)});
+  bool done = false;
+  acq.acquire(s, pool, rec, [&](bool) { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.now(), SimTime::millis(150));
+}
+
+TEST(BlockingAcquirer, ConcurrentWaitersDrainFreedSlotsInPollOrder) {
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  WorkerRecord rec;
+  BlockingAcquirer acq;
+  int successes = 0, failures = 0;
+  for (int i = 0; i < 3; ++i)
+    acq.acquire(s, pool, rec, [&](bool r) { (r ? successes : failures)++; });
+  s.after(SimTime::millis(120), [&] { pool.release(); });
+  s.run();
+  EXPECT_EQ(successes, 1);  // only one slot became free
+  EXPECT_EQ(failures, 2);
+}
+
+TEST(NonBlockingAcquirer, NeverConsumesTime) {
+  Simulation s;
+  EndpointPool pool(1);
+  WorkerRecord rec;
+  NonBlockingAcquirer acq;
+  bool ok = false;
+  acq.acquire(s, pool, rec, [&](bool r) { ok = r; });
+  EXPECT_TRUE(ok);
+  bool ok2 = true;
+  acq.acquire(s, pool, rec, [&](bool r) { ok2 = r; });
+  EXPECT_FALSE(ok2);  // pool now exhausted: immediate failure
+  EXPECT_EQ(s.now(), SimTime::zero());
+  EXPECT_FALSE(s.pending());
+}
+
+TEST(Acquirer, FactoryAndNames) {
+  auto a = make_acquirer(MechanismKind::kBlocking);
+  auto b = make_acquirer(MechanismKind::kNonBlocking);
+  EXPECT_EQ(a->kind(), MechanismKind::kBlocking);
+  EXPECT_EQ(b->kind(), MechanismKind::kNonBlocking);
+  EXPECT_EQ(a->name(), "blocking_get_endpoint");
+  EXPECT_EQ(b->name(), "modified_get_endpoint");
+}
+
+}  // namespace
+}  // namespace ntier::lb

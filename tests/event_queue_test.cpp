@@ -1,0 +1,89 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntier::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::millis(30), [&] { order.push_back(3); });
+  q.push(SimTime::millis(10), [&] { order.push_back(1); });
+  q.push(SimTime::millis(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.push(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLiveEvent) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), SimTime::max());
+  const EventId early = q.push(SimTime::millis(1), [] {});
+  q.push(SimTime::millis(2), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::millis(1));
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_EQ(q.next_time(), SimTime::millis(2));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.push(SimTime::millis(1), [&] { ++fired; });
+  q.push(SimTime::millis(2), [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::millis(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+
+  const EventId id2 = q.push(SimTime::millis(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id2));  // already fired
+  EXPECT_FALSE(q.cancel(999999));  // never existed
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(SimTime::millis(1), [] {});
+  q.push(SimTime::millis(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedCancellations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(q.push(SimTime::micros(i), [] {}));
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 500u);
+}
+
+}  // namespace
+}  // namespace ntier::sim

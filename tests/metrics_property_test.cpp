@@ -1,0 +1,151 @@
+// Property tests pitting the metrics structures against brute-force
+// reference implementations on randomised inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/time_series.h"
+#include "sim/rng.h"
+
+namespace ntier::metrics {
+namespace {
+
+using sim::SimTime;
+
+class GaugeVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaugeVsBruteForce, WindowAveragesAndMaximaMatchNaiveIntegration) {
+  sim::Rng rng(GetParam());
+  const SimTime window = SimTime::millis(50);
+  const SimTime horizon = SimTime::seconds(2);
+
+  // Generate a random step function.
+  std::vector<std::pair<SimTime, double>> steps;  // (time, new value)
+  SimTime t;
+  double value = 0;
+  steps.emplace_back(t, value);
+  while (true) {
+    t += SimTime::from_millis(rng.uniform(0.5, 120.0));
+    if (t >= horizon) break;
+    value = rng.uniform(0.0, 500.0);
+    steps.emplace_back(t, value);
+  }
+
+  GaugeSeries gauge(window);
+  for (const auto& [at, v] : steps) gauge.set(at, v);
+  gauge.finish(horizon);
+
+  // Brute force: integrate at 1 ms resolution.
+  const auto windows = static_cast<std::size_t>(horizon.ns() / window.ns());
+  std::vector<double> integral(windows, 0.0), maxima(windows, 0.0);
+  std::size_t step_idx = 0;
+  for (std::int64_t ms = 0; ms < horizon.ms(); ++ms) {
+    const SimTime now = SimTime::millis(ms);
+    while (step_idx + 1 < steps.size() && steps[step_idx + 1].first <= now)
+      ++step_idx;
+    const double v = steps[step_idx].second;
+    const auto w = static_cast<std::size_t>(now.ns() / window.ns());
+    integral[w] += v;  // 1 ms slices
+    maxima[w] = std::max(maxima[w], v);
+  }
+
+  for (std::size_t w = 0; w < windows; ++w) {
+    // 1 ms discretisation vs exact integration: allow a slice of slack.
+    EXPECT_NEAR(gauge.time_avg(w), integral[w] / 50.0,
+                500.0 / 50.0 + 1e-9)
+        << "window " << w;
+    EXPECT_GE(gauge.max(w) + 1e-9, maxima[w]) << "window " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaugeVsBruteForce,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class HistogramVsSorted : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramVsSorted, PercentilesWithinBucketResolution) {
+  sim::Rng rng(GetParam());
+  LatencyHistogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixture: mostly fast, a heavy tail — like real response times.
+    const double v = rng.bernoulli(0.9) ? rng.uniform(0.5, 20.0)
+                                        : rng.uniform(100.0, 5000.0);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(values.size()) - 1,
+                         p / 100.0 * static_cast<double>(values.size())));
+    const double exact = values[idx];
+    const double approx = h.percentile(p);
+    // Geometric buckets with 20/decade: ±12.2 % plus one bucket of slack.
+    EXPECT_GT(approx, exact * 0.85) << p;
+    EXPECT_LT(approx, exact * 1.30) << p;
+  }
+}
+
+TEST_P(HistogramVsSorted, CountAboveMatchesExactCount) {
+  sim::Rng rng(GetParam() + 100);
+  LatencyHistogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(1.0, 3000.0);
+    values.push_back(v);
+    h.record(v);
+  }
+  // Compare against exact counts at bucket boundaries (where the histogram
+  // is exact by construction).
+  for (std::size_t b = 10; b < h.num_buckets(); b += 17) {
+    const double threshold = h.bucket_lower(b);
+    const auto exact = static_cast<std::int64_t>(
+        std::count_if(values.begin(), values.end(),
+                      [&](double v) { return v > threshold; }));
+    // Values inside the boundary bucket can fall on either side.
+    const auto in_bucket = h.bucket_count(b > 0 ? b - 1 : 0);
+    EXPECT_NEAR(static_cast<double>(h.count_above(threshold)),
+                static_cast<double>(exact),
+                static_cast<double>(in_bucket) + 1.0)
+        << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramVsSorted,
+                         ::testing::Values(11u, 12u, 13u));
+
+class TimeSeriesVsMap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimeSeriesVsMap, AggregationMatchesReference) {
+  sim::Rng rng(GetParam());
+  TimeSeries ts(SimTime::millis(50));
+  std::map<std::size_t, std::vector<double>> ref;
+  for (int i = 0; i < 3000; ++i) {
+    const auto at = SimTime::from_millis(rng.uniform(0.0, 5000.0));
+    const double v = rng.uniform(-10.0, 10.0);
+    ts.record(at, v);
+    ref[static_cast<std::size_t>(at.ns() / SimTime::millis(50).ns())].push_back(v);
+  }
+  for (const auto& [w, vals] : ref) {
+    EXPECT_EQ(ts.count(w), static_cast<std::int64_t>(vals.size()));
+    double sum = 0, mx = vals[0], mn = vals[0];
+    for (double v : vals) {
+      sum += v;
+      mx = std::max(mx, v);
+      mn = std::min(mn, v);
+    }
+    EXPECT_NEAR(ts.sum(w), sum, 1e-9);
+    EXPECT_DOUBLE_EQ(ts.max(w), mx);
+    EXPECT_DOUBLE_EQ(ts.min(w), mn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeSeriesVsMap,
+                         ::testing::Values(21u, 22u, 23u));
+
+}  // namespace
+}  // namespace ntier::metrics

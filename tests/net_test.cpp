@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "net/bounded_queue.h"
+#include "net/link.h"
+#include "net/retransmit.h"
+#include "sim/simulation.h"
+
+namespace ntier::net {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(Link, DeliversAfterLatency) {
+  Simulation s;
+  Link link(SimTime::micros(100));
+  SimTime arrived;
+  link.deliver(s, [&] { arrived = s.now(); });
+  s.run();
+  EXPECT_EQ(arrived, SimTime::micros(100));
+}
+
+TEST(RetransmitSchedule, DefaultMatchesPaperClusters) {
+  RetransmitSchedule sched;
+  ASSERT_GE(sched.max_retries(), 3u);
+  // Cumulative delays 1s, 2s, 3s: the VLRT clusters of Fig. 4.
+  SimTime cum;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cum += sched.delay(i);
+    EXPECT_EQ(cum, SimTime::seconds(static_cast<std::int64_t>(i + 1)));
+  }
+}
+
+TEST(RetransmitSchedule, ConstantFactory) {
+  const auto sched = RetransmitSchedule::constant(SimTime::millis(500), 4);
+  EXPECT_EQ(sched.max_retries(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(sched.delay(i), SimTime::millis(500));
+}
+
+TEST(RetransmitSchedule, ExponentialFactory) {
+  const auto sched = RetransmitSchedule::exponential(SimTime::seconds(1), 4);
+  EXPECT_EQ(sched.delay(0), SimTime::seconds(1));
+  EXPECT_EQ(sched.delay(1), SimTime::seconds(2));
+  EXPECT_EQ(sched.delay(2), SimTime::seconds(4));
+  EXPECT_EQ(sched.delay(3), SimTime::seconds(8));
+}
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, OverflowDropsAndCounts) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_EQ(q.drops(), 2u);
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(5));  // space again
+  EXPECT_EQ(q.drops(), 2u);
+}
+
+TEST(BoundedQueue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(42)));
+  auto out = q.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 42);
+}
+
+}  // namespace
+}  // namespace ntier::net

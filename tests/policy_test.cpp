@@ -1,0 +1,195 @@
+#include "lb/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::lb {
+namespace {
+
+proto::Request req_with_bytes(std::uint32_t in, std::uint32_t out) {
+  proto::Request r;
+  r.request_bytes = in;
+  r.response_bytes = out;
+  return r;
+}
+
+std::vector<WorkerRecord> make_records(int n) {
+  std::vector<WorkerRecord> recs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) recs[static_cast<std::size_t>(i)].tomcat_id = i;
+  return recs;
+}
+
+std::vector<int> all_of(int n) {
+  std::vector<int> v;
+  for (int i = 0; i < n; ++i) v.push_back(i);
+  return v;
+}
+
+TEST(Policy, FactoryRoundTrips) {
+  for (auto kind : {PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic,
+                    PolicyKind::kCurrentLoad, PolicyKind::kSessions,
+                    PolicyKind::kRoundRobin, PolicyKind::kRandom,
+                    PolicyKind::kTwoChoices}) {
+    auto p = make_policy(kind);
+    EXPECT_EQ(p->kind(), kind);
+    EXPECT_FALSE(p->name().empty());
+  }
+}
+
+TEST(Policy, DefaultPickChoosesLowestLbValueFirstOnTies) {
+  auto recs = make_records(4);
+  sim::Rng rng(1);
+  TotalRequestPolicy p;
+  EXPECT_EQ(p.pick(recs, all_of(4), rng), 0);  // all zero -> first
+  recs[0].lb_value = 5;
+  recs[2].lb_value = 1;
+  EXPECT_EQ(p.pick(recs, all_of(4), rng), 1);  // 0 at index 1 and 3: first wins
+  recs[1].lb_value = 2;
+  recs[3].lb_value = 2;
+  EXPECT_EQ(p.pick(recs, all_of(4), rng), 2);
+}
+
+TEST(Policy, PickRespectsEligibleSubset) {
+  auto recs = make_records(4);
+  recs[0].lb_value = 0;
+  recs[1].lb_value = 1;
+  recs[2].lb_value = 2;
+  sim::Rng rng(1);
+  TotalRequestPolicy p;
+  EXPECT_EQ(p.pick(recs, {1, 2}, rng), 1);
+  EXPECT_EQ(p.pick(recs, {}, rng), -1);
+}
+
+TEST(Policy, TotalRequestIncrementsOnAssignOnly) {
+  auto recs = make_records(1);
+  TotalRequestPolicy p;
+  proto::Request r;
+  p.on_assigned(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 1.0);
+  p.on_completed(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 1.0);  // completion is a no-op
+}
+
+TEST(Policy, TotalTrafficIncrementsOnCompletionWithBytes) {
+  auto recs = make_records(1);
+  TotalTrafficPolicy p;
+  auto r = req_with_bytes(400, 1600);
+  p.on_assigned(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 0.0);  // assignment is a no-op
+  p.on_completed(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 2000.0);
+}
+
+TEST(Policy, CurrentLoadTracksOutstanding) {
+  auto recs = make_records(1);
+  CurrentLoadPolicy p;
+  proto::Request r;
+  p.on_assigned(recs[0], r);
+  p.on_assigned(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 2.0);
+  p.on_completed(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 1.0);
+  p.on_completed(recs[0], r);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 0.0);
+  p.on_completed(recs[0], r);  // Algorithm 4 floors at zero
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 0.0);
+}
+
+TEST(Policy, FrozenLbValueAttractsAllPicks) {
+  // The §V-A failure mode in miniature: worker 0 stalls (its lb_value stops
+  // moving) while the others advance; every pick lands on worker 0.
+  auto recs = make_records(4);
+  sim::Rng rng(1);
+  TotalRequestPolicy p;
+  proto::Request r;
+  for (auto& rec : recs) rec.lb_value = 100;
+  for (int i = 0; i < 50; ++i) {
+    const int k = p.pick(recs, all_of(4), rng);
+    if (k != 0) p.on_assigned(recs[static_cast<std::size_t>(k)], r);
+    // worker 0's assignment "hangs": no lb_value update
+  }
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(p.pick(recs, all_of(4), rng), 0);
+}
+
+TEST(Policy, CurrentLoadAvoidsStalledWorker) {
+  // Same scenario under the remedy: worker 0's outstanding grows since
+  // completions stop; picks immediately move elsewhere.
+  auto recs = make_records(4);
+  sim::Rng rng(1);
+  CurrentLoadPolicy p;
+  proto::Request r;
+  int stalled_picks = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int k = p.pick(recs, all_of(4), rng);
+    p.on_assigned(recs[static_cast<std::size_t>(k)], r);
+    if (k == 0) {
+      ++stalled_picks;  // worker 0 never completes
+    } else {
+      p.on_completed(recs[static_cast<std::size_t>(k)], r);  // healthy: instant
+    }
+  }
+  EXPECT_LE(stalled_picks, 2);  // picked at most until its lb_value rose
+}
+
+TEST(Policy, SessionsCountsOnlyNewSessions) {
+  auto recs = make_records(1);
+  SessionsPolicy p;
+  proto::Request fresh;                 // no route: a new session
+  proto::Request returning;
+  returning.session_route = 0;          // already owned
+  p.on_assigned(recs[0], fresh);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 1.0);
+  p.on_assigned(recs[0], returning);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 1.0);  // returning visits are free
+  p.on_completed(recs[0], fresh);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 1.0);
+}
+
+TEST(Policy, SessionsRespectsWeights) {
+  auto recs = make_records(1);
+  recs[0].weight = 2.0;
+  SessionsPolicy p;
+  proto::Request fresh;
+  p.on_assigned(recs[0], fresh);
+  EXPECT_DOUBLE_EQ(recs[0].lb_value, 0.5);
+}
+
+TEST(Policy, RoundRobinCycles) {
+  auto recs = make_records(3);
+  sim::Rng rng(1);
+  RoundRobinPolicy p;
+  EXPECT_EQ(p.pick(recs, all_of(3), rng), 0);
+  EXPECT_EQ(p.pick(recs, all_of(3), rng), 1);
+  EXPECT_EQ(p.pick(recs, all_of(3), rng), 2);
+  EXPECT_EQ(p.pick(recs, all_of(3), rng), 0);
+}
+
+TEST(Policy, RandomIsUniformish) {
+  auto recs = make_records(4);
+  sim::Rng rng(7);
+  RandomPolicy p;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 10'000; ++i)
+    ++counts[static_cast<std::size_t>(p.pick(recs, all_of(4), rng))];
+  for (int c : counts) EXPECT_NEAR(c, 2500, 250);
+}
+
+TEST(Policy, TwoChoicesPrefersFewerOutstanding) {
+  auto recs = make_records(2);
+  recs[0].outstanding = 50;
+  recs[1].outstanding = 1;
+  sim::Rng rng(3);
+  TwoChoicesPolicy p;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(p.pick(recs, all_of(2), rng), 1);
+}
+
+TEST(Policy, TwoChoicesSingleCandidate) {
+  auto recs = make_records(3);
+  sim::Rng rng(3);
+  TwoChoicesPolicy p;
+  EXPECT_EQ(p.pick(recs, {2}, rng), 2);
+  EXPECT_EQ(p.pick(recs, {}, rng), -1);
+}
+
+}  // namespace
+}  // namespace ntier::lb

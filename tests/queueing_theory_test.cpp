@@ -1,0 +1,131 @@
+// Statistical validation of the OS substrate against closed-form queueing
+// theory: the simulator's processor-sharing CPU and FIFO disk must match
+// textbook results for Poisson arrivals. These tests anchor the simulation
+// to ground truth that is independent of the paper.
+#include <gtest/gtest.h>
+
+#include "os/cpu.h"
+#include "os/disk.h"
+#include "sim/simulation.h"
+
+namespace ntier::os {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+/// Drive a single-core PS CPU with Poisson arrivals of exponential demands
+/// and measure the mean sojourn time.
+double mm1_ps_mean_sojourn_ms(double lambda_per_s, double mean_demand_ms,
+                              double horizon_s, std::uint64_t seed) {
+  Simulation s(seed);
+  CpuResource cpu(s, 1);
+  auto rng = s.rng().fork();
+  double total_ms = 0;
+  std::int64_t completed = 0;
+
+  std::function<void()> arrival = [&] {
+    const SimTime start = s.now();
+    // Only count jobs that can finish well before the horizon (avoid
+    // censoring bias).
+    cpu.submit(SimTime::from_millis(rng.exponential(mean_demand_ms)), [&, start] {
+      if (start.to_seconds() > 0.05 * horizon_s &&
+          start.to_seconds() < 0.9 * horizon_s) {
+        total_ms += (s.now() - start).to_millis();
+        ++completed;
+      }
+    });
+    s.after(rng.exponential_time(SimTime::from_seconds(1.0 / lambda_per_s)),
+            arrival);
+  };
+  s.after(SimTime::zero(), arrival);
+  s.run_until(SimTime::from_seconds(horizon_s));
+  return completed ? total_ms / static_cast<double>(completed) : 0.0;
+}
+
+TEST(QueueingTheory, Mm1PsMeanSojournMatchesTheory) {
+  // M/M/1-PS: E[T] = E[S] / (1 - rho), identical to M/M/1-FCFS in mean.
+  // rho = 0.5, E[S] = 1 ms  =>  E[T] = 2 ms.
+  const double measured = mm1_ps_mean_sojourn_ms(/*lambda=*/500.0,
+                                                 /*demand=*/1.0,
+                                                 /*horizon=*/200.0, 7);
+  EXPECT_NEAR(measured, 2.0, 0.15);
+}
+
+TEST(QueueingTheory, Mm1PsHighLoad) {
+  // rho = 0.8  =>  E[T] = 5 ms. Longer horizon: heavier tail.
+  const double measured = mm1_ps_mean_sojourn_ms(800.0, 1.0, 400.0, 11);
+  EXPECT_NEAR(measured, 5.0, 0.6);
+}
+
+TEST(QueueingTheory, PsIsInsensitiveToDemandDistribution) {
+  // The PS queue's mean sojourn depends on the demand distribution only
+  // through its mean (insensitivity property). Compare exponential demands
+  // against deterministic demands at the same rho.
+  Simulation s(13);
+  CpuResource cpu(s, 1);
+  auto rng = s.rng().fork();
+  double total_ms = 0;
+  std::int64_t completed = 0;
+  std::function<void()> arrival = [&] {
+    const SimTime start = s.now();
+    cpu.submit(SimTime::from_millis(1.0), [&, start] {  // deterministic 1 ms
+      if (start.to_seconds() > 10 && start.to_seconds() < 180) {
+        total_ms += (s.now() - start).to_millis();
+        ++completed;
+      }
+    });
+    s.after(rng.exponential_time(SimTime::from_millis(2.0)), arrival);
+  };
+  s.after(SimTime::zero(), arrival);
+  s.run_until(SimTime::from_seconds(200));
+  const double det = total_ms / static_cast<double>(completed);
+  EXPECT_NEAR(det, 2.0, 0.15);  // same E[T] = E[S]/(1-rho) as exponential
+}
+
+TEST(QueueingTheory, MultiCoreBelowSaturationAddsNoQueueing) {
+  // 4 cores at per-job rate 1: with fewer than 4 concurrent jobs, each runs
+  // at full speed; at rho-per-core = 0.3 queueing is negligible.
+  Simulation s(17);
+  CpuResource cpu(s, 4);
+  auto rng = s.rng().fork();
+  double total_ms = 0;
+  std::int64_t completed = 0;
+  std::function<void()> arrival = [&] {
+    const SimTime start = s.now();
+    cpu.submit(SimTime::from_millis(1.0), [&, start] {
+      total_ms += (s.now() - start).to_millis();
+      ++completed;
+    });
+    s.after(rng.exponential_time(SimTime::micros(833)), arrival);
+  };
+  s.after(SimTime::zero(), arrival);
+  s.run_until(SimTime::from_seconds(50));
+  EXPECT_NEAR(total_ms / static_cast<double>(completed), 1.0, 0.1);
+}
+
+TEST(QueueingTheory, Md1DiskWaitMatchesPollaczekKhinchine) {
+  // M/D/1: Wq = rho * S / (2 (1 - rho)). Writes of 1 MiB at 100 MiB/s
+  // => S = 10 ms; lambda = 50/s => rho = 0.5 => Wq = 5 ms, T = 15 ms.
+  Simulation s(23);
+  Disk disk(s, 100.0 * (1 << 20));
+  auto rng = s.rng().fork();
+  double total_ms = 0;
+  std::int64_t completed = 0;
+  std::function<void()> arrival = [&] {
+    const SimTime start = s.now();
+    disk.submit_write(1 << 20, [&, start] {
+      if (start.to_seconds() > 10 && start.to_seconds() < 270) {
+        total_ms += (s.now() - start).to_millis();
+        ++completed;
+      }
+    });
+    s.after(rng.exponential_time(SimTime::millis(20)), arrival);
+  };
+  s.after(SimTime::zero(), arrival);
+  s.run_until(SimTime::from_seconds(300));
+  EXPECT_NEAR(total_ms / static_cast<double>(completed), 15.0, 1.2);
+}
+
+}  // namespace
+}  // namespace ntier::os

@@ -1,0 +1,96 @@
+#include "metrics/request_log.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::metrics {
+namespace {
+
+using sim::SimTime;
+
+RequestRecord make(std::uint64_t id, double rt_ms,
+                   RequestOutcome outcome = RequestOutcome::kOk) {
+  RequestRecord r;
+  r.id = id;
+  r.start = SimTime::seconds(1);
+  r.end = r.start + SimTime::from_millis(rt_ms);
+  r.outcome = outcome;
+  return r;
+}
+
+TEST(RequestLog, AggregatesCompletions) {
+  RequestLog log;
+  log.on_complete(make(1, 5.0));
+  log.on_complete(make(2, 15.0));
+  log.on_complete(make(3, 2000.0));
+  EXPECT_EQ(log.completed(), 3);
+  EXPECT_NEAR(log.mean_response_ms(), (5.0 + 15.0 + 2000.0) / 3, 1e-9);
+  EXPECT_EQ(log.vlrt_count(), 1);
+  EXPECT_NEAR(log.vlrt_fraction(), 1.0 / 3, 1e-9);
+  EXPECT_NEAR(log.normal_fraction(), 1.0 / 3, 1e-9);
+}
+
+TEST(RequestLog, DropsAndErrorsAreCountedSeparately) {
+  RequestLog log;
+  log.on_complete(make(1, 5.0));
+  log.on_complete(make(2, 0.0, RequestOutcome::kDropped));
+  log.on_complete(make(3, 0.0, RequestOutcome::kBalancerError));
+  EXPECT_EQ(log.completed(), 1);
+  EXPECT_EQ(log.dropped(), 1);
+  EXPECT_EQ(log.balancer_errors(), 1);
+}
+
+TEST(RequestLog, VlrtSeriesCountsByCompletionWindow) {
+  RequestLog log(SimTime::millis(50));
+  auto r = make(1, 1500.0);
+  log.on_complete(r);
+  const auto& vlrt = log.vlrt_series();
+  // completion at 2.5 s -> window 50
+  EXPECT_EQ(vlrt.count(50), 1);
+  EXPECT_EQ(vlrt.total_count(), 1);
+}
+
+TEST(RequestLog, ResponseTimeSeriesTracksAverage) {
+  RequestLog log(SimTime::millis(50));
+  log.on_complete(make(1, 4.0));
+  log.on_complete(make(2, 6.0));
+  const auto& rt = log.response_time_series();
+  // both complete just after 1s (window 20)
+  EXPECT_EQ(rt.count(20), 2);
+  EXPECT_DOUBLE_EQ(rt.avg(20), 5.0);
+}
+
+TEST(RequestLog, RetransmissionsAccumulate) {
+  RequestLog log;
+  auto r = make(1, 1001.0);
+  r.retransmissions = 2;
+  log.on_complete(r);
+  EXPECT_EQ(log.total_retransmissions(), 2);
+}
+
+TEST(RequestLog, KeepsRecordsWhenAsked) {
+  RequestLog keep(SimTime::millis(50), /*keep_records=*/true);
+  RequestLog drop(SimTime::millis(50), /*keep_records=*/false);
+  keep.on_complete(make(1, 5.0));
+  drop.on_complete(make(1, 5.0));
+  EXPECT_EQ(keep.records().size(), 1u);
+  EXPECT_TRUE(drop.records().empty());
+}
+
+TEST(RequestLog, SummaryRowContainsLabelAndNumbers) {
+  RequestLog log;
+  for (int i = 0; i < 95; ++i) log.on_complete(make(i, 5.0));
+  for (int i = 0; i < 5; ++i) log.on_complete(make(100 + i, 1500.0));
+  const std::string row = log.summary_row("current_load");
+  EXPECT_NE(row.find("current_load"), std::string::npos);
+  EXPECT_NE(row.find("100"), std::string::npos);   // total requests
+  EXPECT_NE(row.find("5.00%"), std::string::npos); // VLRT fraction
+}
+
+TEST(RequestLog, PercentileDelegation) {
+  RequestLog log;
+  for (int i = 1; i <= 100; ++i) log.on_complete(make(i, i));
+  EXPECT_NEAR(log.percentile_ms(50), 50.0, 8.0);
+}
+
+}  // namespace
+}  // namespace ntier::metrics

@@ -1,0 +1,125 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ntier::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(123);
+  Rng child = a.fork();
+  // The child stream must not replay the parent stream.
+  Rng fresh(123);
+  fresh.next_u64();  // consume the draw used to seed the child
+  bool all_equal = true;
+  for (int i = 0; i < 10; ++i)
+    if (child.next_u64() != fresh.next_u64()) all_equal = false;
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = r.uniform_int(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(3);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialTimeMatchesMean) {
+  Rng r(4);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    sum += r.exponential_time(SimTime::millis(10)).to_millis();
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(Rng, LognormalMeanAndSpread) {
+  Rng r(5);
+  const int n = 200'000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.lognormal_mean(4.0, 0.5);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 4.0, 0.08);
+  EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.03);  // cv as requested
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(6);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexMatchesWeights) {
+  Rng r(7);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted_index(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng r(8);
+  EXPECT_THROW(r.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(r.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ZipfSkewsTowardsLowRanks) {
+  Rng r(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[r.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  // Rank-0 frequency for s=1, n=10 is 1/H_10 ≈ 0.341.
+  EXPECT_NEAR(counts[0] / 100'000.0, 0.341, 0.02);
+}
+
+TEST(Rng, ZipfRejectsEmptyDomain) {
+  Rng r(10);
+  EXPECT_THROW(r.zipf(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntier::sim

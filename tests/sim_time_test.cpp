@@ -1,0 +1,66 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::sim {
+namespace {
+
+TEST(SimTime, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_EQ(SimTime::millis(1), SimTime::micros(1000));
+  EXPECT_EQ(SimTime::micros(1), SimTime::nanos(1000));
+  EXPECT_EQ(SimTime::from_seconds(1.5), SimTime::millis(1500));
+  EXPECT_EQ(SimTime::from_millis(0.25), SimTime::micros(250));
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::millis(300);
+  const SimTime b = SimTime::millis(200);
+  EXPECT_EQ((a + b).ms(), 500);
+  EXPECT_EQ((a - b).ms(), 100);
+  EXPECT_EQ((a * 3).ms(), 900);
+  EXPECT_EQ((a / 3).ms(), 100);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.ms(), 500);
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_LE(SimTime::millis(2), SimTime::millis(2));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+  EXPECT_EQ(SimTime::max(), SimTime::max());
+  EXPECT_LT(SimTime::seconds(1'000'000), SimTime::max());
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t = SimTime::millis(1234);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.234);
+  EXPECT_DOUBLE_EQ(t.to_millis(), 1234.0);
+  EXPECT_EQ(t.us(), 1'234'000);
+  EXPECT_EQ(t.ms(), 1234);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.4e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.6e-9).ns(), 2);
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(SimTime::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(SimTime::millis(87).to_string(), "87.000ms");
+  EXPECT_EQ(SimTime::micros(12).to_string(), "12.000us");
+  EXPECT_EQ(SimTime::nanos(7).to_string(), "7ns");
+}
+
+}  // namespace
+}  // namespace ntier::sim

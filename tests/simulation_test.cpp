@@ -1,0 +1,103 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntier::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation s;
+  std::vector<std::int64_t> seen;
+  s.after(SimTime::millis(5), [&] { seen.push_back(s.now().ms()); });
+  s.after(SimTime::millis(2), [&] { seen.push_back(s.now().ms()); });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{2, 5}));
+  EXPECT_EQ(s.now().ms(), 5);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation s;
+  int fired = 0;
+  s.after(SimTime::seconds(1), [&] { ++fired; });
+  s.after(SimTime::seconds(3), [&] { ++fired; });
+  s.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), SimTime::seconds(2));  // clock lands on the horizon
+  s.run_until(SimTime::seconds(4));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsAtHorizonStillFire) {
+  Simulation s;
+  int fired = 0;
+  s.after(SimTime::seconds(2), [&] { ++fired; });
+  s.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation s;
+  std::vector<std::int64_t> seen;
+  s.after(SimTime::millis(1), [&] {
+    seen.push_back(s.now().ms());
+    s.after(SimTime::millis(1), [&] { seen.push_back(s.now().ms()); });
+  });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Simulation, SchedulingInThePastThrows) {
+  Simulation s;
+  s.after(SimTime::millis(10), [&] {
+    EXPECT_THROW(s.at(SimTime::millis(5), [] {}), std::logic_error);
+  });
+  s.run();
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation s;
+  int fired = 0;
+  s.after(SimTime::millis(1), [&] {
+    ++fired;
+    s.stop();
+  });
+  s.after(SimTime::millis(2), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.pending());
+}
+
+TEST(Simulation, CancelledEventDoesNotFire) {
+  Simulation s;
+  int fired = 0;
+  const EventId id = s.after(SimTime::millis(1), [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, DeterministicAcrossRunsWithSameSeed) {
+  auto trace = [](std::uint64_t seed) {
+    Simulation s(seed);
+    std::vector<double> draws;
+    for (int i = 0; i < 100; ++i)
+      s.after(SimTime::millis(i), [&] { draws.push_back(s.rng().uniform01()); });
+    s.run();
+    return draws;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  EXPECT_NE(trace(7), trace(8));
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.after(SimTime::millis(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+  EXPECT_EQ(s.events_scheduled(), 5u);
+}
+
+}  // namespace
+}  // namespace ntier::sim

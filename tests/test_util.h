@@ -1,0 +1,30 @@
+#pragma once
+
+#include <memory>
+
+#include "experiment/experiment.h"
+
+namespace ntier::experiment::testing {
+
+/// A fast variant of the paper's 4A/4T/1M setup: same offered load
+/// (~10 k req/s) via the scaled client population, short duration.
+inline ExperimentConfig quick_config(lb::PolicyKind policy,
+                                     lb::MechanismKind mech,
+                                     bool millibottlenecks,
+                                     sim::SimTime duration = sim::SimTime::seconds(15)) {
+  ExperimentConfig c = ExperimentConfig::scaled(0.1);
+  c.policy = policy;
+  c.mechanism = mech;
+  c.tomcat_millibottlenecks = millibottlenecks;
+  c.duration = duration;
+  c.warmup = sim::SimTime::seconds(2);
+  return c;
+}
+
+inline std::unique_ptr<Experiment> run(ExperimentConfig c) {
+  auto e = std::make_unique<Experiment>(std::move(c));
+  e->run();
+  return e;
+}
+
+}  // namespace ntier::experiment::testing

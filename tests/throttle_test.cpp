@@ -1,0 +1,132 @@
+// Tests for the dirty-ratio foreground write throttle (Linux
+// balance_dirty_pages): writers crossing the limit park until writeback
+// drains the cache.
+#include <gtest/gtest.h>
+
+#include "experiment/experiment.h"
+#include "experiment/report.h"
+#include "os/node.h"
+#include "server/tomcat_server.h"
+#include "sim/simulation.h"
+#include "test_util.h"
+
+namespace ntier::os {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(DirtyThrottle, DisabledIsPassThrough) {
+  Simulation s;
+  PageCache pc(s);
+  int proceeded = 0;
+  pc.write_dirty_throttled(1 << 30, [&] { ++proceeded; });
+  EXPECT_EQ(proceeded, 1);
+  EXPECT_EQ(pc.throttled_writers(), 0u);
+}
+
+TEST(DirtyThrottle, ParksWritersAboveLimit) {
+  Simulation s;
+  PageCache pc(s);
+  pc.set_throttle_limit(1000);
+  int proceeded = 0;
+  pc.write_dirty_throttled(600, [&] { ++proceeded; });
+  EXPECT_EQ(proceeded, 1);  // below limit
+  pc.write_dirty_throttled(600, [&] { ++proceeded; });  // 1200 > 1000
+  pc.write_dirty_throttled(100, [&] { ++proceeded; });
+  EXPECT_EQ(proceeded, 1);
+  EXPECT_EQ(pc.throttled_writers(), 2u);
+  EXPECT_TRUE(pc.over_throttle());
+
+  pc.take_all_dirty();  // writeback drains: all writers wake
+  EXPECT_EQ(proceeded, 3);
+  EXPECT_EQ(pc.throttled_writers(), 0u);
+  EXPECT_FALSE(pc.over_throttle());
+}
+
+TEST(DirtyThrottle, NodeWiresTheLimit) {
+  Simulation s;
+  NodeConfig nc;
+  nc.pdflush.enabled = false;
+  nc.dirty_throttle_bytes = 500;
+  Node node(s, nc);
+  int proceeded = 0;
+  node.page_cache().write_dirty_throttled(600, [&] { ++proceeded; });
+  EXPECT_EQ(proceeded, 0);  // parked
+}
+
+TEST(DirtyThrottle, PdflushWakesParkedWriters) {
+  Simulation s;
+  NodeConfig nc;
+  nc.disk_bytes_per_second = 1 << 20;
+  nc.pdflush.flush_interval = SimTime::seconds(2);
+  nc.pdflush.dirty_background_bytes = 1ull << 30;
+  nc.pdflush.cpu_stall_severity = 1.0;
+  nc.dirty_throttle_bytes = 1 << 18;  // 256 KiB
+  Node node(s, nc);
+  SimTime resumed;
+  s.after(SimTime::seconds(1), [&] {
+    node.page_cache().write_dirty_throttled(1 << 19, [&] { resumed = s.now(); });
+  });
+  s.run_until(SimTime::seconds(4));
+  // Parked at 1 s; the periodic flush at 2 s claims the pages and wakes us.
+  EXPECT_EQ(resumed, SimTime::seconds(2));
+}
+
+TEST(DirtyThrottle, TomcatThreadsParkInLogWrites) {
+  // With an absurdly low throttle and no flush, servlet threads park at
+  // completion and the pool drains.
+  Simulation s;
+  NodeConfig nc;
+  nc.pdflush.enabled = false;
+  nc.dirty_throttle_bytes = 1;
+  Node tomcat_node(s, nc), mysql_node(s, {});
+  server::MySqlServer db(s, mysql_node);
+  server::DbRouter router(s, {&db}, {});
+  server::TomcatConfig tc;
+  tc.max_threads = 2;
+  server::TomcatServer tomcat(s, tomcat_node, 0, router, tc);
+
+  int responded = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto req = std::make_shared<proto::Request>();
+    req->tomcat_demand = SimTime::millis(1);
+    req->log_bytes = 100;
+    tomcat.submit(req, [&](const proto::RequestPtr&) { ++responded; });
+  }
+  s.run_until(SimTime::seconds(1));
+  // Both threads are parked in their log writes; nothing responds and the
+  // other requests wait in the connector queue.
+  EXPECT_EQ(responded, 0);
+  EXPECT_EQ(tomcat.threads_busy(), 2);
+  EXPECT_EQ(tomcat_node.page_cache().throttled_writers(), 2u);
+
+  tomcat_node.page_cache().take_all_dirty();  // manual writeback
+  s.run_until(SimTime::seconds(2));
+  EXPECT_EQ(responded, 2);  // parked pair completed; next pair parked again
+}
+
+TEST(DirtyThrottleIntegration, ThrottleModeAlsoCreatesInstability) {
+  // Configure the Tomcats with a tight dirty throttle instead of (on top
+  // of) the iowait stall: threads park, the server stops completing, and
+  // the stock policy funnels into it just the same — the instability is
+  // agnostic to *how* the server stalls.
+  auto cfg = experiment::testing::quick_config(
+      lb::PolicyKind::kTotalRequest, lb::MechanismKind::kBlocking,
+      /*millibottlenecks=*/true, SimTime::seconds(12));
+  cfg.tomcat_dirty_throttle_bytes = 4ull << 20;  // 4 MiB: trips mid-cycle
+  auto throttled = experiment::testing::run(std::move(cfg));
+
+  auto base_cfg = experiment::testing::quick_config(
+      lb::PolicyKind::kTotalRequest, lb::MechanismKind::kBlocking, true,
+      SimTime::seconds(12));
+  auto base = experiment::testing::run(std::move(base_cfg));
+
+  // The throttle adds a second stall mode, so things only get worse.
+  EXPECT_GE(throttled->log().mean_response_ms(),
+            0.8 * base->log().mean_response_ms());
+  EXPECT_GT(experiment::max_of(throttled->tomcat_tier_queue()), 400.0);
+}
+
+}  // namespace
+}  // namespace ntier::os

@@ -1,0 +1,165 @@
+// Tests for arrival-trace recording, CSV round-trip and open-loop replay.
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "experiment/experiment.h"
+#include "test_util.h"
+#include "workload/client.h"
+
+namespace ntier::workload {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(ArrivalTrace, CsvRoundTrip) {
+  ArrivalTrace trace;
+  trace.add(SimTime::from_millis(12.5), 3, 7);
+  trace.add(SimTime::seconds(2), 1, 0);
+  std::stringstream ss;
+  trace.save(ss);
+  const auto loaded = ArrivalTrace::load(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.events()[0].at, SimTime::from_millis(12.5));
+  EXPECT_EQ(loaded.events()[0].client, 3);
+  EXPECT_EQ(loaded.events()[0].interaction, 7);
+  EXPECT_EQ(loaded.events()[1].at, SimTime::seconds(2));
+}
+
+TEST(ArrivalTrace, LoadRejectsGarbage) {
+  std::stringstream no_header("1,2,3\n");
+  EXPECT_THROW(ArrivalTrace::load(no_header), std::invalid_argument);
+  std::stringstream bad_row("at_s,client,interaction\n0.5,7\n");
+  EXPECT_THROW(ArrivalTrace::load(bad_row), std::invalid_argument);
+}
+
+TEST(ArrivalTrace, SortAndScale) {
+  ArrivalTrace trace;
+  trace.add(SimTime::seconds(2), 0, 0);
+  trace.add(SimTime::seconds(1), 1, 1);
+  trace.sort();
+  EXPECT_EQ(trace.events()[0].client, 1);
+  trace.scale_time(0.5);
+  EXPECT_EQ(trace.events()[0].at, SimTime::from_millis(500));
+  EXPECT_EQ(trace.events()[1].at, SimTime::seconds(1));
+  EXPECT_THROW(trace.scale_time(0.0), std::invalid_argument);
+}
+
+TEST(Recorder, ClientPopulationHookCapturesEveryIssue) {
+  Simulation s;
+  RubbosWorkload w;
+  metrics::RequestLog log;
+  // A front-end that answers instantly.
+  class Fe : public proto::FrontEnd {
+   public:
+    explicit Fe(Simulation& simu) : sim_(simu) {}
+    bool try_submit(const proto::RequestPtr& req, RespondFn respond) override {
+      sim_.after(SimTime::millis(1),
+                 [req, respond = std::move(respond)] { respond(req, true); });
+      return true;
+    }
+    Simulation& sim_;
+  } fe(s);
+
+  ClientParams p;
+  p.num_clients = 20;
+  p.think_mean = SimTime::millis(100);
+  p.ramp = SimTime::millis(100);
+  ClientPopulation clients(s, p, w, {&fe}, log);
+
+  ArrivalTrace trace;
+  clients.set_issue_hook(
+      [&](SimTime at, std::uint16_t client, std::uint16_t interaction) {
+        trace.add(at, client, interaction);
+      });
+  clients.start();
+  s.run_until(SimTime::seconds(2));
+  EXPECT_EQ(trace.size(), clients.issued());
+  // Recording order is already chronological.
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_LE(trace.events()[i - 1].at, trace.events()[i].at);
+}
+
+TEST(Replay, ReproducesTheRecordedMixExactly) {
+  // Record a closed-loop run, then replay it open-loop against a fresh
+  // instant front-end: same arrival count and identical interaction mix.
+  Simulation rec_sim(5);
+  RubbosWorkload w;
+  metrics::RequestLog rec_log;
+  class Fe : public proto::FrontEnd {
+   public:
+    explicit Fe(Simulation& simu) : sim_(simu) {}
+    bool try_submit(const proto::RequestPtr& req, RespondFn respond) override {
+      sim_.after(SimTime::millis(1),
+                 [req, respond = std::move(respond)] { respond(req, true); });
+      return true;
+    }
+    Simulation& sim_;
+  };
+  Fe rec_fe(rec_sim);
+  ClientParams p;
+  p.num_clients = 50;
+  p.think_mean = SimTime::millis(50);
+  p.ramp = SimTime::millis(50);
+  ClientPopulation clients(rec_sim, p, w, {&rec_fe}, rec_log);
+  ArrivalTrace trace;
+  clients.set_issue_hook(
+      [&](SimTime at, std::uint16_t c, std::uint16_t k) { trace.add(at, c, k); });
+  clients.start();
+  rec_sim.run_until(SimTime::seconds(3));
+
+  std::map<std::uint16_t, int> recorded_mix;
+  for (const auto& e : trace.events()) ++recorded_mix[e.interaction];
+
+  Simulation rep_sim(99);  // different seed: only demands differ
+  metrics::RequestLog rep_log(SimTime::millis(50), /*keep_records=*/true);
+  Fe rep_fe(rep_sim);
+  TraceReplayer replayer(rep_sim, trace, w, {&rep_fe}, rep_log);
+  replayer.start();
+  rep_sim.run_until(SimTime::seconds(4));
+
+  EXPECT_EQ(replayer.issued(), trace.size());
+  EXPECT_EQ(replayer.completed_ok(), trace.size());
+  std::map<std::uint16_t, int> replayed_mix;
+  for (const auto& r : rep_log.records()) ++replayed_mix[r.interaction];
+  EXPECT_EQ(recorded_mix, replayed_mix);
+}
+
+TEST(Replay, OpenLoopAgainstTheFullTestbed) {
+  // Build a synthetic constant-rate trace and run it through the real
+  // 4A/4T/1M stack (no millibottlenecks): everything completes quickly.
+  ArrivalTrace trace;
+  sim::Rng mix_rng(3);
+  RubbosWorkload w;
+  for (int i = 0; i < 20'000; ++i) {
+    trace.add(SimTime::from_millis(1 + i * 0.4),  // 2 500 req/s
+              static_cast<std::uint16_t>(i % 997),
+              static_cast<std::uint16_t>(w.next_interaction(mix_rng, -1)));
+  }
+
+  auto cfg = experiment::testing::quick_config(
+      lb::PolicyKind::kCurrentLoad, lb::MechanismKind::kNonBlocking,
+      /*millibottlenecks=*/false, SimTime::seconds(10));
+  cfg.num_clients = 1;  // the closed loop idles; the replayer drives load
+  cfg.think_mean = SimTime::seconds(1000);
+  experiment::Experiment e(std::move(cfg));
+
+  metrics::RequestLog log;
+  std::vector<proto::FrontEnd*> fes;
+  for (int a = 0; a < e.num_apaches(); ++a) fes.push_back(&e.apache(a));
+  TraceReplayer replayer(e.simulation(), trace, w, fes, log);
+  replayer.start();
+  e.run();
+
+  EXPECT_EQ(replayer.issued(), 20'000u);
+  EXPECT_GT(log.completed(), 19'900);
+  EXPECT_LT(log.mean_response_ms(), 10.0);
+  EXPECT_EQ(replayer.connection_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace ntier::workload

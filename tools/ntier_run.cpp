@@ -1,0 +1,14 @@
+// Command-line front-end of the simulator: configure a run with flags,
+// get a human-readable report plus optional JSON/CSV artefacts.
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  const auto parsed = ntier::cli::parse_cli(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error << "\n\n" << ntier::cli::usage_text();
+    return 2;
+  }
+  return ntier::cli::run_cli(*parsed.options);
+}
