@@ -4,6 +4,10 @@
 #   scripts/run_all_benches.sh [--full] [output-file]
 #
 # --full runs the paper-scale (70 000 clients, 180 s) configurations.
+#
+# See also scripts/run_sanitized_tests.sh, which rebuilds the tree with
+# -DNTIER_SANITIZE=address,undefined and runs the test suite (including the
+# chaos matrix) under sanitizers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "experiment/chaos.h"
 #include "experiment/experiment.h"
 #include "experiment/report.h"
 #include "experiment/summary.h"
@@ -47,6 +48,7 @@ std::optional<lb::MechanismKind> parse_mechanism(const std::string& s) {
   using lb::MechanismKind;
   if (s == "blocking") return MechanismKind::kBlocking;
   if (s == "modified" || s == "non_blocking") return MechanismKind::kNonBlocking;
+  if (s == "queueing") return MechanismKind::kQueueing;
   return std::nullopt;
 }
 
@@ -79,16 +81,22 @@ topology / scale
 policy & mechanism under test
   --policy P             total_request | total_traffic | current_load |
                          sessions | round_robin | random | two_choices
-  --mechanism M          blocking | modified
+  --mechanism M          blocking | modified | queueing
   --sticky               enable sticky sessions
   --db-policy P          replica-selection policy for the DB router
-  --db-mechanism M       blocking | modified | (default queueing pool)
+  --db-mechanism M       blocking | modified | queueing (default)
 
 millibottleneck environment
   --no-millibottlenecks  pristine environment (Fig. 1 baseline)
   --stall-source S       pdflush | gc | dvfs | vm
   --bursty X             bursty arrivals with multiplier X
   --mix M                read_write | browse_only
+
+fault injection & resilience
+  --chaos                inject a seeded randomized fault schedule (crashes,
+                         link faults, pool leaks, disk degradation, stalls)
+  --chaos-seed N         fault-schedule seed (implies --chaos, default 1)
+  --resilience           health probing + circuit breaker + budgeted retries
 
 traces
   --record-trace FILE    save the run's arrival trace (CSV)
@@ -195,6 +203,14 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
         o.config.workload.mix = workload::Mix::kBrowseOnly;
       else
         return fail("unknown mix: " + v);
+    } else if (a == "--chaos") {
+      o.chaos = true;
+    } else if (a == "--chaos-seed") {
+      if (!value(v) || !parse_int(v, n) || n < 0) return fail("bad --chaos-seed");
+      o.chaos = true;
+      o.chaos_seed = static_cast<std::uint64_t>(n);
+    } else if (a == "--resilience") {
+      o.resilience = true;
     } else if (a == "--record-trace") {
       if (!value(o.record_trace_path)) return fail("missing --record-trace value");
     } else if (a == "--replay-trace") {
@@ -240,6 +256,19 @@ int run_cli(const CliOptions& options) {
     cfg.num_clients = 1;
     cfg.think_mean = sim::SimTime::seconds(1'000'000);
     cfg.label += "_replay";
+  }
+
+  if (options.resilience) cfg.enable_resilience();
+  if (options.chaos) {
+    millib::FaultPlanConfig fc;
+    // Fit the schedule into the configured run: faults start after the
+    // warm-up and the last clear lands before the run ends.
+    fc.initial_offset = std::max(cfg.warmup, sim::SimTime::seconds(1));
+    fc.horizon = std::max(fc.initial_offset + sim::SimTime::seconds(1),
+                          cfg.duration - fc.max_duration);
+    cfg.fault_plan.merge(
+        millib::FaultPlan::randomized(options.chaos_seed, fc, cfg.num_tomcats));
+    cfg.label += "_chaos";
   }
 
   if (!options.quiet)
@@ -296,6 +325,24 @@ int run_cli(const CliOptions& options) {
     std::cout << "p99 " << summary.p99_ms << " ms, p99.9 " << summary.p999_ms
               << " ms, drops " << summary.connection_drops << ", 503s "
               << summary.balancer_errors << "\n";
+    if (e.chaos()) {
+      std::cout << "\nfault schedule (applied/cleared):\n"
+                << e.chaos()->trace_string();
+    }
+    if (options.resilience) {
+      std::uint64_t trips = 0, retries = 0, probes = 0, timeouts = 0;
+      for (int a = 0; a < e.num_apaches(); ++a) {
+        trips += e.apache(a).balancer().breaker_trips();
+        retries += e.apache(a).retries();
+        if (e.apache(a).prober()) {
+          probes += e.apache(a).prober()->probes_sent();
+          timeouts += e.apache(a).prober()->probes_timed_out();
+        }
+      }
+      std::cout << "resilience: " << probes << " probes (" << timeouts
+                << " timed out), " << trips << " breaker trips, " << retries
+                << " retries\n";
+    }
   }
   if (!options.record_trace_path.empty() && !replay) {
     std::ofstream f(options.record_trace_path);

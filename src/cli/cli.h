@@ -15,6 +15,9 @@ struct CliOptions {
   std::string csv_dir;     // dump tier queue series here when non-empty
   std::string record_trace_path;  // save the arrival trace of the run
   std::string replay_trace_path;  // drive the run from a saved trace
+  bool chaos = false;             // inject a seeded randomized fault schedule
+  std::uint64_t chaos_seed = 1;
+  bool resilience = false;        // prober + breaker + budgeted retries
   bool quiet = false;      // suppress the human-readable report
   bool help = false;
 };

@@ -1,0 +1,254 @@
+#include "experiment/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ntier::experiment {
+
+ChaosController::ChaosController(Experiment& exp, millib::FaultPlan plan)
+    : exp_(exp), plan_(std::move(plan)) {
+  events_.resize(plan_.specs.size());
+  state_.resize(plan_.specs.size());
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i)
+    events_[i].spec = plan_.specs[i];
+}
+
+int ChaosController::target_worker(const millib::FaultSpec& spec) const {
+  // Hand-written plans may carry out-of-range indices; fold them into the
+  // actual tier width so a plan written for 4 Tomcats still runs against 3.
+  const int n = const_cast<Experiment&>(exp_).num_tomcats();
+  if (spec.worker < 0) return 0;
+  return spec.worker % n;
+}
+
+void ChaosController::arm() {
+  if (armed_) throw std::logic_error("ChaosController::arm called twice");
+  armed_ = true;
+  auto& sim = exp_.simulation();
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const auto& spec = plan_.specs[i];
+    sim.at(spec.start, [this, i] { apply(i); });
+    sim.at(spec.end(), [this, i] { clear(i); });
+  }
+}
+
+void ChaosController::apply(std::size_t i) {
+  const auto& spec = plan_.specs[i];
+  auto& st = state_[i];
+  auto& sim = exp_.simulation();
+  const double stall_factor = std::max(0.0, 1.0 - spec.severity);
+  switch (spec.kind) {
+    case millib::FaultKind::kCapacityStall: {
+      auto& cpu = exp_.tomcat_node(target_worker(spec)).cpu();
+      st.saved_cpu_factors = {cpu.capacity_factor()};
+      cpu.set_capacity_factor(std::min(st.saved_cpu_factors[0], stall_factor));
+      break;
+    }
+    case millib::FaultKind::kCorrelatedStall: {
+      // Every backend at once — the blind spot of per-worker state machines.
+      for (int t = 0; t < exp_.num_tomcats(); ++t) {
+        auto& cpu = exp_.tomcat_node(t).cpu();
+        st.saved_cpu_factors.push_back(cpu.capacity_factor());
+        cpu.set_capacity_factor(std::min(st.saved_cpu_factors.back(),
+                                         stall_factor));
+      }
+      break;
+    }
+    case millib::FaultKind::kCrash: {
+      const int w = target_worker(spec);
+      exp_.tomcat(w).crash();
+      // Fail the queued waiters on every balancer's pool for this worker so
+      // parked requests fail over instead of waiting on a dead backend.
+      for (int a = 0; a < exp_.num_apaches(); ++a)
+        exp_.apache(a).balancer().mutable_pool(w).drain();
+      break;
+    }
+    case millib::FaultKind::kLinkFault:
+      exp_.mutable_clients().link().set_fault(spec.extra_latency,
+                                              spec.loss_probability);
+      break;
+    case millib::FaultKind::kPoolLeak: {
+      const int w = target_worker(spec);
+      for (int a = 0; a < exp_.num_apaches(); ++a) {
+        auto& pool = exp_.apache(a).balancer().mutable_pool(w);
+        int k = 0;
+        while (k < spec.leak_slots && pool.try_acquire()) ++k;
+        st.leaked.push_back(k);
+      }
+      break;
+    }
+    case millib::FaultKind::kDiskDegrade: {
+      auto& disk = exp_.tomcat_node(target_worker(spec)).disk();
+      st.saved_disk_factor = disk.rate_factor();
+      disk.set_rate_factor(
+          std::max(0.05, st.saved_disk_factor * (1.0 - spec.severity)));
+      break;
+    }
+  }
+  events_[i].applied = sim.now();
+  ++applied_;
+}
+
+void ChaosController::clear(std::size_t i) {
+  const auto& spec = plan_.specs[i];
+  auto& st = state_[i];
+  auto& sim = exp_.simulation();
+  switch (spec.kind) {
+    case millib::FaultKind::kCapacityStall:
+      exp_.tomcat_node(target_worker(spec))
+          .cpu()
+          .set_capacity_factor(st.saved_cpu_factors.at(0));
+      break;
+    case millib::FaultKind::kCorrelatedStall:
+      for (int t = 0; t < exp_.num_tomcats(); ++t)
+        exp_.tomcat_node(t).cpu().set_capacity_factor(
+            st.saved_cpu_factors.at(static_cast<std::size_t>(t)));
+      break;
+    case millib::FaultKind::kCrash:
+      exp_.tomcat(target_worker(spec)).restart();
+      break;
+    case millib::FaultKind::kLinkFault:
+      exp_.mutable_clients().link().clear_fault();
+      break;
+    case millib::FaultKind::kPoolLeak: {
+      const int w = target_worker(spec);
+      for (int a = 0; a < exp_.num_apaches(); ++a) {
+        auto& pool = exp_.apache(a).balancer().mutable_pool(w);
+        for (int k = 0; k < st.leaked.at(static_cast<std::size_t>(a)); ++k)
+          pool.release();
+      }
+      break;
+    }
+    case millib::FaultKind::kDiskDegrade:
+      exp_.tomcat_node(target_worker(spec))
+          .disk()
+          .set_rate_factor(st.saved_disk_factor);
+      break;
+  }
+  events_[i].cleared = sim.now();
+  ++cleared_;
+}
+
+std::string ChaosController::trace_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.spec.to_string() << " applied=" << e.applied.to_string()
+       << " cleared=" << e.cleared.to_string() << '\n';
+  }
+  return os.str();
+}
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  os << "conservation " << (conservation_ok() ? "OK" : "VIOLATED")
+     << " (issued=" << issued << " completed=" << completed
+     << " failed=" << failed << " dropped=" << dropped
+     << " in_flight=" << in_flight << "); pools "
+     << (pools_ok() ? "OK" : "VIOLATED") << " (in_use=" << pool_in_use
+     << " waiting=" << pool_waiting << "); crash "
+     << (crash_ok() ? "OK" : "VIOLATED")
+     << " (crashed_accepts=" << crashed_accepts << ")";
+  return os.str();
+}
+
+InvariantReport check_invariants(Experiment& e) {
+  InvariantReport r;
+  const auto& clients = e.clients();
+  r.issued = clients.issued();
+  r.completed = clients.completed_ok();
+  r.failed = clients.failed();
+  r.dropped = clients.dropped();
+  r.in_flight = clients.in_flight();
+  for (int a = 0; a < e.num_apaches(); ++a) {
+    auto& lb = e.apache(a).balancer();
+    for (int w = 0; w < lb.num_workers(); ++w) {
+      r.pool_in_use += lb.pool(w).in_use();
+      r.pool_waiting += lb.pool(w).waiting();
+    }
+  }
+  for (int t = 0; t < e.num_tomcats(); ++t) {
+    auto& lb = e.db_router(t).balancer();
+    for (int w = 0; w < lb.num_workers(); ++w) {
+      r.pool_in_use += lb.pool(w).in_use();
+      r.pool_waiting += lb.pool(w).waiting();
+    }
+    r.crashed_accepts += e.tomcat(t).crashed_accepts();
+  }
+  return r;
+}
+
+ChaosRunResult run_chaos(ExperimentConfig config, sim::SimTime traffic,
+                         sim::SimTime drain) {
+  config.duration = traffic + drain;
+  Experiment e(std::move(config));
+  e.simulation().at(traffic, [&e] { e.mutable_clients().quiesce(); });
+  e.run();
+
+  ChaosRunResult r;
+  r.label = e.config().label;
+  r.summary = summarize(e);
+  r.invariants = check_invariants(e);
+  if (e.chaos()) r.fault_trace = e.chaos()->trace_string();
+  for (int a = 0; a < e.num_apaches(); ++a) {
+    auto& apache = e.apache(a);
+    r.breaker_trips += apache.balancer().breaker_trips();
+    r.retries += apache.retries();
+    r.retry_successes += apache.retry_successes();
+    if (apache.prober()) {
+      r.probes_sent += apache.prober()->probes_sent();
+      r.probes_timed_out += apache.prober()->probes_timed_out();
+    }
+  }
+  return r;
+}
+
+millib::FaultPlan matrix_plan(const ChaosMatrixOptions& opt) {
+  millib::FaultPlanConfig fc;
+  fc.initial_offset = sim::SimTime::seconds(1);
+  fc.mean_gap = sim::SimTime::millis(800);
+  fc.max_duration = sim::SimTime::millis(1200);
+  fc.max_faults = 10;
+  // Leave room at the end of the traffic window for the longest fault to
+  // clear while requests still flow.
+  fc.horizon = opt.traffic - fc.max_duration;
+  return millib::FaultPlan::randomized(opt.chaos_seed, fc, opt.num_tomcats);
+}
+
+std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt) {
+  static constexpr lb::PolicyKind kPolicies[] = {
+      lb::PolicyKind::kTotalRequest, lb::PolicyKind::kTotalTraffic,
+      lb::PolicyKind::kCurrentLoad,  lb::PolicyKind::kSessions,
+      lb::PolicyKind::kRoundRobin,   lb::PolicyKind::kRandom,
+      lb::PolicyKind::kTwoChoices};
+  static constexpr lb::MechanismKind kMechanisms[] = {
+      lb::MechanismKind::kBlocking, lb::MechanismKind::kNonBlocking,
+      lb::MechanismKind::kQueueing};
+
+  const millib::FaultPlan plan = matrix_plan(opt);
+  std::vector<ChaosRunResult> results;
+  for (auto policy : kPolicies) {
+    for (auto mechanism : kMechanisms) {
+      ExperimentConfig c;
+      c.label = "chaos/" + lb::to_string(policy) + "/" +
+                lb::to_string(mechanism);
+      c.num_apaches = opt.num_apaches;
+      c.num_tomcats = opt.num_tomcats;
+      c.num_clients = opt.num_clients;
+      c.think_mean = opt.think_mean;
+      c.warmup = sim::SimTime::millis(500);
+      c.policy = policy;
+      c.mechanism = mechanism;
+      // Organic millibottlenecks off: every disturbance comes from the plan,
+      // so a violated invariant is attributable.
+      c.tomcat_millibottlenecks = false;
+      c.tracing = false;
+      c.fault_plan = plan;
+      if (opt.resilience) c.enable_resilience();
+      results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));
+    }
+  }
+  return results;
+}
+
+}  // namespace ntier::experiment

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.h"
+#include "experiment/summary.h"
+#include "millib/fault_plan.h"
+#include "sim/time.h"
+
+namespace ntier::experiment {
+
+/// Executes a FaultPlan against a built Experiment: maps each FaultSpec onto
+/// the live components (CPUs, disks, links, Tomcats, endpoint pools),
+/// applies it at spec.start and reverts it at spec.end, and records the
+/// applied/cleared instants as an episode trace.
+///
+/// Owned by the Experiment (built automatically when config.fault_plan is
+/// non-empty); the mapping per kind:
+///   kCapacityStall / kCorrelatedStall -> cpu().set_capacity_factor
+///   kCrash       -> TomcatServer::crash/restart + draining every Apache's
+///                   endpoint-pool wait queue for that worker
+///   kLinkFault   -> extra latency + loss on the client<->Apache link
+///   kPoolLeak    -> slots acquired out of each balancer's pool and held
+///   kDiskDegrade -> disk().set_rate_factor (longer writeback stalls)
+class ChaosController {
+ public:
+  ChaosController(Experiment& exp, millib::FaultPlan plan);
+
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+
+  /// Schedule every spec; called once by Experiment::build.
+  void arm();
+
+  const millib::FaultPlan& plan() const { return plan_; }
+  /// One entry per spec, filled in as faults apply and clear.
+  const std::vector<millib::FaultEvent>& events() const { return events_; }
+  std::size_t faults_applied() const { return applied_; }
+  std::size_t faults_cleared() const { return cleared_; }
+  /// Applied/cleared episode trace (one line each) — the chaos artefact the
+  /// determinism test compares across same-seed runs.
+  std::string trace_string() const;
+
+ private:
+  /// Per-spec saved state so clear() restores exactly what apply() changed.
+  struct SpecState {
+    std::vector<double> saved_cpu_factors;
+    double saved_disk_factor = 1.0;
+    std::vector<int> leaked;  // per Apache: slots actually acquired
+  };
+
+  int target_worker(const millib::FaultSpec& spec) const;
+  void apply(std::size_t i);
+  void clear(std::size_t i);
+
+  Experiment& exp_;
+  millib::FaultPlan plan_;
+  std::vector<millib::FaultEvent> events_;
+  std::vector<SpecState> state_;
+  std::size_t applied_ = 0;
+  std::size_t cleared_ = 0;
+  bool armed_ = false;
+};
+
+/// Post-run safety-property check. The chaos matrix requires all three to
+/// hold for every policy x mechanism cell after traffic quiesces and the
+/// drain window elapses.
+struct InvariantReport {
+  // Request conservation: issued == completed + failed + dropped.
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t in_flight = 0;
+
+  // Endpoint-pool accounting across every balancer (Apache and DB tiers):
+  // all slots returned, no waiter leaked.
+  std::uint64_t pool_in_use = 0;
+  std::uint64_t pool_waiting = 0;
+
+  // No crashed Tomcat ever accepted a request.
+  std::uint64_t crashed_accepts = 0;
+
+  bool conservation_ok() const { return in_flight == 0; }
+  bool pools_ok() const { return pool_in_use == 0 && pool_waiting == 0; }
+  bool crash_ok() const { return crashed_accepts == 0; }
+  bool ok() const { return conservation_ok() && pools_ok() && crash_ok(); }
+  std::string to_string() const;
+};
+
+/// Evaluate the three invariants on a finished (quiesced + drained) run.
+InvariantReport check_invariants(Experiment& e);
+
+/// Digest of one chaos run: the usual summary plus invariants, the fault
+/// trace, and the resilience-layer counters.
+struct ChaosRunResult {
+  std::string label;
+  RunSummary summary;
+  InvariantReport invariants;
+  std::string fault_trace;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_successes = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_timed_out = 0;
+};
+
+/// Run `config` with traffic quiesced at `traffic`; the remainder of
+/// config.duration (>= traffic + expected drain) lets in-flight work,
+/// retransmission chains and fault clears settle before the invariants are
+/// evaluated. Sets config.duration = traffic + drain.
+ChaosRunResult run_chaos(ExperimentConfig config, sim::SimTime traffic,
+                         sim::SimTime drain);
+
+/// One cell-sized configuration of the full chaos matrix.
+struct ChaosMatrixOptions {
+  std::uint64_t chaos_seed = 1;
+  /// Turn on prober + breaker + budgeted retries in every cell.
+  bool resilience = false;
+  int num_apaches = 2;
+  int num_tomcats = 3;
+  int num_clients = 400;
+  sim::SimTime think_mean = sim::SimTime::millis(200);
+  sim::SimTime traffic = sim::SimTime::seconds(10);
+  sim::SimTime drain = sim::SimTime::seconds(8);
+};
+
+/// The randomized fault schedule used by the matrix (also handy on its own:
+/// the determinism test replays it).
+millib::FaultPlan matrix_plan(const ChaosMatrixOptions& opt);
+
+/// Run the seeded fault schedule against every policy (7) x mechanism (3)
+/// combination — 21 cells, same plan in each — and return per-cell results.
+std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt);
+
+}  // namespace ntier::experiment

@@ -49,6 +49,12 @@ ExperimentConfig ExperimentConfig::single_node(double factor) {
   return c;
 }
 
+void ExperimentConfig::enable_resilience() {
+  apache.prober.enabled = true;
+  apache.retry.enabled = true;
+  balancer.breaker.enabled = true;
+}
+
 std::string describe(const ExperimentConfig& c) {
   std::ostringstream os;
   os << c.label << ": " << c.num_apaches << "A/" << c.num_tomcats << "T/1M, "
@@ -65,6 +71,11 @@ std::string describe(const ExperimentConfig& c) {
   if (c.num_mysql > 1) os << ", " << c.num_mysql << " DB replicas";
   if (c.sticky_sessions) os << ", sticky";
   if (c.bursty_workload) os << ", bursty";
+  if (c.apache.prober.enabled || c.balancer.breaker.enabled ||
+      c.apache.retry.enabled)
+    os << ", resilience";
+  if (!c.fault_plan.empty())
+    os << ", chaos(" << c.fault_plan.size() << " faults)";
   return os.str();
 }
 

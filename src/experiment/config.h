@@ -6,6 +6,7 @@
 #include "lb/endpoint.h"
 #include "lb/load_balancer.h"
 #include "lb/policy.h"
+#include "millib/fault_plan.h"
 #include "millib/injector.h"
 #include "net/retransmit.h"
 #include "os/node.h"
@@ -96,6 +97,10 @@ struct ExperimentConfig {
   /// alternates normal/burst phases (see ClientParams).
   bool bursty_workload = false;
   double burst_multiplier = 4.0;
+  /// Chaos fault schedule, applied by a ChaosController during the run when
+  /// non-empty (see experiment/chaos.h). Orthogonal to the organic
+  /// millibottleneck sources above, and composable with them.
+  millib::FaultPlan fault_plan;
   /// pdflush active on the Apache nodes (only the single-node anatomy
   /// experiment, Fig. 2, leaves these on).
   bool apache_millibottlenecks = false;
@@ -132,6 +137,10 @@ struct ExperimentConfig {
   /// The single-node anatomy setup of Fig. 2: 1 Apache, 1 Tomcat, 1 MySQL,
   /// millibottlenecks on both Apache and Tomcat, no balancing choice.
   static ExperimentConfig single_node(double factor = 0.1);
+
+  /// Turn on the full resilience layer: active health probing, the
+  /// probe-driven circuit breaker, and budgeted front-end retries.
+  void enable_resilience();
 };
 
 std::string describe(const ExperimentConfig& c);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "experiment/chaos.h"
+
 namespace ntier::experiment {
 
 Experiment::Experiment(ExperimentConfig config)
@@ -117,6 +119,12 @@ void Experiment::build() {
   for (auto& a : apaches_) fes.push_back(a.get());
   clients_ = std::make_unique<workload::ClientPopulation>(sim_, cp, workload_,
                                                           fes, log_);
+
+  // -- chaos -------------------------------------------------------------------
+  if (!config_.fault_plan.empty()) {
+    chaos_ = std::make_unique<ChaosController>(*this, config_.fault_plan);
+    chaos_->arm();
+  }
 
   // -- samplers ------------------------------------------------------------------
   if (config_.tracing) {

@@ -20,6 +20,8 @@
 
 namespace ntier::experiment {
 
+class ChaosController;
+
 /// Builds the full testbed described by an ExperimentConfig — client
 /// population, Apache tier (each with its own balancer), Tomcat tier (each
 /// with its own DB router), MySQL replica(s), per-node OS models with
@@ -53,6 +55,8 @@ class Experiment {
   server::DbRouter& db_router(int tomcat) {
     return *db_routers_[static_cast<std::size_t>(tomcat)];
   }
+  /// Null unless config.fault_plan is non-empty.
+  const ChaosController* chaos() const { return chaos_.get(); }
   os::Node& apache_node(int i) { return *apache_nodes_[static_cast<std::size_t>(i)]; }
   os::Node& tomcat_node(int i) { return *tomcat_nodes_[static_cast<std::size_t>(i)]; }
   os::Node& mysql_node(int i = 0) { return *mysql_nodes_[static_cast<std::size_t>(i)]; }
@@ -118,6 +122,7 @@ class Experiment {
   std::vector<std::unique_ptr<server::ApacheServer>> apaches_;
   std::vector<std::unique_ptr<millib::CapacityStallInjector>> injectors_;
   std::unique_ptr<workload::ClientPopulation> clients_;
+  std::unique_ptr<ChaosController> chaos_;
 
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> apache_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_cpu_;

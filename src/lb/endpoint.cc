@@ -13,41 +13,46 @@ std::string to_string(MechanismKind k) {
   return "?";
 }
 
+namespace {
+
+// Algorithm 1: with retry counted in units of JK_SLEEP_DEF, polls happen
+// at t = 0, S, 2S, ... while retry*S < timeout; then the call fails.
+struct PollState {
+  sim::Simulation& simu;
+  EndpointPool& pool;
+  BlockingAcquirer::Params params;
+  std::function<void(bool)> done;
+  sim::SimTime waited;
+};
+
+// Exact Algorithm-1 sequencing: a failed check is always followed by a
+// sleep; the loop condition (retry * JK_SLEEP_DEF < timeout) is evaluated
+// on wake-up. With the defaults this checks at 0/100/200 ms and reports
+// failure at 300 ms. A free function (rather than a self-capturing closure
+// in a shared_ptr<function>) so the recursion holds no reference cycle:
+// the only owner of the state is the pending wake-up event.
+void poll_step(const std::shared_ptr<PollState>& st) {
+  if (st->pool.try_acquire()) {
+    st->done(true);
+    return;
+  }
+  st->waited += st->params.sleep_interval;
+  st->simu.after(st->params.sleep_interval, [st] {
+    if (st->waited >= st->params.acquire_timeout)
+      st->done(false);
+    else
+      poll_step(st);
+  });
+}
+
+}  // namespace
+
 void BlockingAcquirer::acquire(sim::Simulation& simu, EndpointPool& pool,
                                const WorkerRecord& rec,
                                std::function<void(bool)> done) {
-  // Algorithm 1: with retry counted in units of JK_SLEEP_DEF, polls happen
-  // at t = 0, S, 2S, ... while retry*S < timeout; then the call fails.
-  struct PollState {
-    sim::Simulation& simu;
-    EndpointPool& pool;
-    Params params;
-    std::function<void(bool)> done;
-    sim::SimTime waited;
-  };
-  auto st = std::make_shared<PollState>(
-      PollState{simu, pool, params_, std::move(done), sim::SimTime::zero()});
   (void)rec;
-
-  // Exact Algorithm-1 sequencing: a failed check is always followed by a
-  // sleep; the loop condition (retry * JK_SLEEP_DEF < timeout) is evaluated
-  // on wake-up. With the defaults this checks at 0/100/200 ms and reports
-  // failure at 300 ms.
-  auto poll = std::make_shared<std::function<void()>>();
-  *poll = [st, poll] {
-    if (st->pool.try_acquire()) {
-      st->done(true);
-      return;
-    }
-    st->waited += st->params.sleep_interval;
-    st->simu.after(st->params.sleep_interval, [st, poll] {
-      if (st->waited >= st->params.acquire_timeout)
-        st->done(false);
-      else
-        (*poll)();
-    });
-  };
-  (*poll)();
+  poll_step(std::make_shared<PollState>(
+      PollState{simu, pool, params_, std::move(done), sim::SimTime::zero()}));
 }
 
 void NonBlockingAcquirer::acquire(sim::Simulation&, EndpointPool& pool,
@@ -56,21 +61,47 @@ void NonBlockingAcquirer::acquire(sim::Simulation&, EndpointPool& pool,
   done(pool.try_acquire());
 }
 
-void QueueingAcquirer::acquire(sim::Simulation&, EndpointPool& pool,
+void QueueingAcquirer::acquire(sim::Simulation& simu, EndpointPool& pool,
                                const WorkerRecord&,
                                std::function<void(bool)> done) {
-  pool.acquire_or_wait([done = std::move(done)] { done(true); });
+  if (params_.wait_timeout <= sim::SimTime::zero()) {
+    pool.acquire_or_wait([done = std::move(done)](bool ok) { done(ok); });
+    return;
+  }
+  // Bounded wait: whichever of {grant/drain, timeout} fires first settles
+  // the acquisition; the timeout *cancels* the waiter so a later release
+  // cannot hand a slot to a caller that already gave up (that slot would
+  // never be returned).
+  struct WaitState {
+    bool settled = false;
+    EndpointPool::WaiterId id = 0;
+  };
+  auto st = std::make_shared<WaitState>();
+  const auto id = pool.acquire_or_wait([st, done](bool ok) {
+    st->settled = true;
+    done(ok);
+  });
+  if (st->settled) return;  // granted (or drained) synchronously
+  st->id = id;
+  simu.after(params_.wait_timeout, [st, &pool, done] {
+    if (st->settled) return;
+    if (pool.cancel_waiter(st->id)) {
+      st->settled = true;
+      done(false);
+    }
+  });
 }
 
-std::unique_ptr<EndpointAcquirer> make_acquirer(MechanismKind kind,
-                                                BlockingAcquirer::Params params) {
+std::unique_ptr<EndpointAcquirer> make_acquirer(
+    MechanismKind kind, BlockingAcquirer::Params params,
+    QueueingAcquirer::Params queueing_params) {
   switch (kind) {
     case MechanismKind::kBlocking:
       return std::make_unique<BlockingAcquirer>(params);
     case MechanismKind::kNonBlocking:
       return std::make_unique<NonBlockingAcquirer>();
     case MechanismKind::kQueueing:
-      return std::make_unique<QueueingAcquirer>();
+      return std::make_unique<QueueingAcquirer>(queueing_params);
   }
   throw std::invalid_argument("make_acquirer: unknown kind");
 }

@@ -22,9 +22,14 @@ namespace ntier::lb {
 /// Besides the polling-style `try_acquire`, the pool supports FIFO waiters
 /// (`acquire_or_wait`): a condvar-style connection pool as used between the
 /// servlets and the database, where a `release` hands the slot to the first
-/// waiter directly.
+/// waiter directly. Waiters are cancellable (a higher layer that times out
+/// must withdraw, or a later release would hand it a slot nobody returns)
+/// and the whole queue can be `drain`ed when the backend crashes so queued
+/// work fails fast instead of waiting on a dead worker.
 class EndpointPool {
  public:
+  using WaiterId = std::uint64_t;
+
   explicit EndpointPool(std::size_t capacity) : capacity_(capacity) {}
 
   bool try_acquire() {
@@ -34,25 +39,71 @@ class EndpointPool {
   }
 
   /// Acquire immediately when a slot is free, otherwise join the FIFO wait
-  /// queue; `granted` runs (synchronously on release) once the slot is held.
-  void acquire_or_wait(std::function<void()> granted) {
+  /// queue. `granted(true)` runs (synchronously, or later on release) once
+  /// the slot is held; `granted(false)` when the pool is drained first.
+  /// Returns 0 when the slot was granted synchronously, else a waiter id
+  /// usable with `cancel_waiter`.
+  WaiterId acquire_or_wait(std::function<void(bool)> granted) {
     if (try_acquire()) {
-      granted();
-    } else {
-      waiters_.push_back(std::move(granted));
+      granted(true);
+      return 0;
     }
+    const WaiterId id = next_waiter_id_++;
+    waiters_.push_back(Waiter{id, std::move(granted)});
+    return id;
+  }
+
+  /// Withdraw a queued waiter. Returns false when the waiter already left
+  /// the queue (granted, drained, or cancelled before); its callback never
+  /// runs after a successful cancel.
+  bool cancel_waiter(WaiterId id) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (it->id == id) {
+        waiters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Fail every queued waiter (`granted(false)`) — used when the backend
+  /// behind this pool crashes, so queued work fails over instead of waiting
+  /// on a dead worker. Held slots stay held until their releases arrive.
+  void drain() {
+    std::deque<Waiter> failed;
+    failed.swap(waiters_);
+    for (auto& w : failed) w.granted(false);
   }
 
   void release() {
     if (in_use_ == 0) throw std::logic_error("EndpointPool: release underflow");
+    if (in_use_ > capacity_) {
+      // The pool shrank (fault-injected capacity change) while this slot was
+      // out: retire it instead of handing it to a waiter.
+      --in_use_;
+      return;
+    }
     if (!waiters_.empty()) {
       // Hand the slot to the first waiter; in_use_ stays constant.
-      auto granted = std::move(waiters_.front());
+      auto granted = std::move(waiters_.front().granted);
       waiters_.pop_front();
-      granted();
+      granted(true);
       return;
     }
     --in_use_;
+  }
+
+  /// Fault-injection / reconfiguration hook. Growing the pool admits queued
+  /// waiters into the new slots; shrinking lets `release` retire slots until
+  /// in_use fits again.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (!waiters_.empty() && in_use_ < capacity_) {
+      ++in_use_;
+      auto granted = std::move(waiters_.front().granted);
+      waiters_.pop_front();
+      granted(true);
+    }
   }
 
   std::size_t in_use() const { return in_use_; }
@@ -61,9 +112,15 @@ class EndpointPool {
   bool exhausted() const { return in_use_ >= capacity_; }
 
  private:
+  struct Waiter {
+    WaiterId id;
+    std::function<void(bool)> granted;
+  };
+
   std::size_t capacity_;
   std::size_t in_use_ = 0;
-  std::deque<std::function<void()>> waiters_;
+  WaiterId next_waiter_id_ = 1;
+  std::deque<Waiter> waiters_;
 };
 
 /// Which `get_endpoint` implementation a balancer runs.
@@ -127,19 +184,35 @@ class NonBlockingAcquirer final : public EndpointAcquirer {
                std::function<void(bool)> done) override;
 };
 
-/// Condvar-style acquisition: never fails, waits FIFO on the chosen pool
-/// and is woken directly by the releasing request. This is how the
-/// servlet-side DB connection pools behave; note that it *commits* to the
-/// chosen worker, so only an adaptive policy protects it from queueing
-/// behind a millibottleneck.
+/// Condvar-style acquisition: waits FIFO on the chosen pool and is woken
+/// directly by the releasing request. This is how the servlet-side DB
+/// connection pools behave; note that it *commits* to the chosen worker, so
+/// only an adaptive policy protects it from queueing behind a
+/// millibottleneck. An optional wait timeout (zero = wait forever, the
+/// classic pool) cancels the waiter and fails the acquisition instead of
+/// leaking the eventually-granted slot — the hook the front-end retry layer
+/// builds on. The acquisition also fails fast when the pool is drained on a
+/// backend crash.
 class QueueingAcquirer final : public EndpointAcquirer {
  public:
+  struct Params {
+    sim::SimTime wait_timeout = sim::SimTime::zero();  // zero: unbounded wait
+  };
+
+  QueueingAcquirer() = default;
+  explicit QueueingAcquirer(Params p) : params_(p) {}
   MechanismKind kind() const override { return MechanismKind::kQueueing; }
+  const Params& params() const { return params_; }
+
   void acquire(sim::Simulation& simu, EndpointPool& pool, const WorkerRecord& rec,
                std::function<void(bool)> done) override;
+
+ private:
+  Params params_;
 };
 
 std::unique_ptr<EndpointAcquirer> make_acquirer(
-    MechanismKind kind, BlockingAcquirer::Params params = {});
+    MechanismKind kind, BlockingAcquirer::Params params = {},
+    QueueingAcquirer::Params queueing_params = {});
 
 }  // namespace ntier::lb

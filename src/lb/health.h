@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace ntier::lb {
+
+class LoadBalancer;
+
+/// Active health-probe schedule (in the spirit of Prequal's probing and
+/// HAProxy's health checks). Each worker is probed every `interval`; a probe
+/// that has not answered within `timeout` counts as failed — which is
+/// exactly what makes probing catch a *millibottleneck*: a stalled CPU
+/// cannot answer a ping any faster than it can answer a request.
+struct ProberConfig {
+  bool enabled = false;
+  sim::SimTime interval = sim::SimTime::millis(100);
+  sim::SimTime timeout = sim::SimTime::millis(30);
+};
+
+/// Probe-driven circuit breaker. The stock mod_jk state machine only learns
+/// about a sick worker from *in-band* acquisition failures — by which time
+/// requests are already parked behind it. The breaker trips a worker out of
+/// rotation from probe evidence instead, and re-admits it through half-open
+/// trial requests.
+struct BreakerConfig {
+  bool enabled = false;
+  /// EWMA weight of each probe observation on the worker's health score
+  /// (also applied when the breaker itself is disabled, for observability).
+  double ewma_alpha = 0.3;
+  /// Health below this opens the breaker (worker leaves rotation).
+  double trip_threshold = 0.5;
+  /// Minimum open time before a successful probe moves to half-open.
+  sim::SimTime open_duration = sim::SimTime::millis(500);
+  /// Trial requests admitted half-open; one failure re-opens immediately.
+  int half_open_trials = 3;
+};
+
+/// Probes every worker of one balancer on a fixed cadence and feeds the
+/// outcomes into `LoadBalancer::report_probe`. The probe transport is
+/// supplied by the server layer (`ProbeFn`), because only it knows what a
+/// probe physically is (a link round trip plus a trivial amount of backend
+/// CPU, failing fast when the backend is down).
+class HealthProber {
+ public:
+  /// done(ok) must eventually fire unless the backend is gone; the prober's
+  /// own timeout covers the never-answers case.
+  using ProbeFn = std::function<void(int worker, std::function<void(bool)> done)>;
+
+  HealthProber(sim::Simulation& simu, LoadBalancer& lb, ProbeFn probe,
+               ProberConfig config);
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  const ProberConfig& config() const { return config_; }
+  std::uint64_t probes_sent() const { return sent_; }
+  std::uint64_t probes_timed_out() const { return timed_out_; }
+
+ private:
+  void fire(int worker);
+
+  sim::Simulation& sim_;
+  LoadBalancer& lb_;
+  ProbeFn probe_;
+  ProberConfig config_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t timed_out_ = 0;
+};
+
+}  // namespace ntier::lb

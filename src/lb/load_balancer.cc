@@ -89,6 +89,9 @@ void LoadBalancer::set_committed(int idx, int delta) {
 }
 
 bool LoadBalancer::eligible(WorkerRecord& rec) {
+  // An open breaker overrides the mod_jk state machine entirely: the worker
+  // only re-enters rotation through report_probe's half-open transition.
+  if (rec.breaker_open) return false;
   switch (rec.state) {
     case WorkerState::kAvailable:
       return true;
@@ -111,6 +114,14 @@ bool LoadBalancer::eligible(WorkerRecord& rec) {
 
 void LoadBalancer::mark_failure(WorkerRecord& rec) {
   ++rec.acquire_failures;
+  // A failed trial request while half-open re-opens the breaker immediately:
+  // the worker claimed recovery and could not back it up.
+  if (config_.breaker.enabled && rec.half_open_left > 0) {
+    rec.half_open_left = 0;
+    rec.breaker_open = true;
+    rec.breaker_until = sim_.now() + config_.breaker.open_duration;
+    ++rec.breaker_trips;
+  }
   // Concurrent waiters that started polling before the worker was sidelined
   // all fail around the same instant; only the first of them escalates the
   // state (mod_jk marks the worker once, the rest just observe it Busy).
@@ -172,6 +183,7 @@ void LoadBalancer::try_next(const std::shared_ptr<AssignContext>& ctx) {
         auto& r = records_[static_cast<std::size_t>(idx)];
         if (ok) {
           r.consecutive_failures = 0;
+          if (r.half_open_left > 0) --r.half_open_left;
           ++r.assigned;
           ++r.outstanding;
           policy_->on_assigned(r, *ctx->req);  // Algorithm 2/4 increment point
@@ -197,6 +209,48 @@ void LoadBalancer::assign(const proto::RequestPtr& req,
   ctx->done = std::move(done);
   ctx->attempted.assign(records_.size(), false);
   try_next(ctx);
+}
+
+void LoadBalancer::report_failure(int idx) {
+  mark_failure(records_[static_cast<std::size_t>(idx)]);
+}
+
+void LoadBalancer::report_probe(int idx, bool ok, sim::SimTime rtt) {
+  auto& rec = records_[static_cast<std::size_t>(idx)];
+  ++rec.probes;
+  if (!ok) ++rec.probe_failures;
+  rec.probe_rtt_ms = rtt.to_seconds() * 1e3;
+  const double obs = ok ? 1.0 : 0.0;
+  rec.health += config_.breaker.ewma_alpha * (obs - rec.health);
+  if (!config_.breaker.enabled) return;
+
+  if (rec.breaker_open) {
+    if (ok && sim_.now() >= rec.breaker_until) {
+      // Half-open: re-admit the worker for a handful of trial requests.
+      // Reset the mod_jk side too — the probe evidence supersedes whatever
+      // Busy/Error verdict the stall left behind.
+      rec.breaker_open = false;
+      rec.half_open_left = config_.breaker.half_open_trials;
+      rec.state = WorkerState::kAvailable;
+      rec.consecutive_failures = 0;
+      rec.health = std::max(rec.health, config_.breaker.trip_threshold);
+    } else if (!ok) {
+      rec.breaker_until = sim_.now() + config_.breaker.open_duration;
+    }
+    return;
+  }
+  if (rec.health < config_.breaker.trip_threshold) {
+    rec.breaker_open = true;
+    rec.breaker_until = sim_.now() + config_.breaker.open_duration;
+    rec.half_open_left = 0;
+    ++rec.breaker_trips;
+  }
+}
+
+std::uint64_t LoadBalancer::breaker_trips() const {
+  std::uint64_t total = 0;
+  for (const auto& rec : records_) total += rec.breaker_trips;
+  return total;
 }
 
 void LoadBalancer::on_response(int idx, const proto::RequestPtr& req) {

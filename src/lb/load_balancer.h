@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lb/endpoint.h"
+#include "lb/health.h"
 #include "lb/policy.h"
 #include "lb/worker_record.h"
 #include "metrics/time_series.h"
@@ -49,6 +50,11 @@ struct BalancerConfig {
   /// mod_jk sticky_session_force: fail (503) instead of falling back to the
   /// policy when the routed worker cannot take the request.
   bool sticky_force = false;
+
+  /// Probe-driven circuit breaker (see lb/health.h). Probe outcomes arrive
+  /// via report_probe; with breaker.enabled a sick worker is tripped out of
+  /// rotation and re-admitted through half-open trial requests.
+  BreakerConfig breaker;
 };
 
 /// mod_jk's two-level scheduler, one instance per Apache.
@@ -79,6 +85,19 @@ class LoadBalancer {
   /// and run the policy's completion hook.
   void on_response(int idx, const proto::RequestPtr& req);
 
+  /// Out-of-band failure evidence for `idx` (e.g. the backend refused a
+  /// request after the endpoint was acquired). Feeds the same Busy/Error
+  /// escalation as an endpoint-acquisition failure, and re-opens the breaker
+  /// if the worker was half-open.
+  void report_failure(int idx);
+
+  /// A health-probe outcome for `idx` (called by HealthProber). Updates the
+  /// worker's EWMA health score and drives the circuit breaker:
+  /// trip when health < trip_threshold, then — after open_duration — a
+  /// successful probe moves the worker to half-open with
+  /// `half_open_trials` trial requests.
+  void report_probe(int idx, bool ok, sim::SimTime rtt);
+
   // -- introspection ---------------------------------------------------------
   int num_workers() const { return static_cast<int>(records_.size()); }
   const WorkerRecord& record(int idx) const {
@@ -87,12 +106,18 @@ class LoadBalancer {
   const EndpointPool& pool(int idx) const {
     return pools_[static_cast<std::size_t>(idx)];
   }
+  /// Mutable pool access for fault injection (pool leaks, crash drains).
+  EndpointPool& mutable_pool(int idx) {
+    return pools_[static_cast<std::size_t>(idx)];
+  }
   LbPolicy& policy() { return *policy_; }
   EndpointAcquirer& acquirer() { return *acquirer_; }
   const BalancerConfig& config() const { return config_; }
 
   std::uint64_t balancer_errors() const { return balancer_errors_; }
   std::uint64_t sticky_hits() const { return sticky_hits_; }
+  /// Total breaker open transitions across all workers.
+  std::uint64_t breaker_trips() const;
 
   /// Apply one round of lb_value aging immediately (also runs on the
   /// configured decay_interval).

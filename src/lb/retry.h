@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ntier::lb {
+
+/// Front-end retry layer knobs. A failed assignment (balancer 503 or a
+/// backend refusing after endpoint acquisition) is retried with capped
+/// exponential backoff — but only while the per-request timeout and the
+/// retry *budget* allow it, so retries cannot multiply an overload into a
+/// retry storm (every request failing + max_attempts retries each would
+/// triple the offered load exactly when the system can least afford it).
+struct RetryConfig {
+  bool enabled = false;
+  /// Total tries including the first attempt.
+  int max_attempts = 3;
+  sim::SimTime base_backoff = sim::SimTime::millis(20);
+  sim::SimTime max_backoff = sim::SimTime::millis(200);
+  /// No retry is started once a request has been in the server this long.
+  sim::SimTime request_timeout = sim::SimTime::seconds(2);
+  /// Retry tokens earned per arriving request (0.2 = retries may add at most
+  /// ~20% extra load in steady state).
+  double budget_ratio = 0.2;
+  /// Token cap (also the initial balance): bounds the burst of retries a
+  /// sudden fault can trigger.
+  double budget_burst = 20.0;
+
+  /// Backoff before retry number `attempt` (0-based), doubling from
+  /// base_backoff and capped at max_backoff.
+  sim::SimTime backoff(int attempt) const {
+    sim::SimTime d = base_backoff;
+    for (int i = 0; i < attempt && d < max_backoff; ++i) d = d * 2;
+    return std::min(d, max_backoff);
+  }
+};
+
+/// Token-bucket retry budget (the Finagle/SRE-book construction): each
+/// arriving request deposits `ratio` tokens, each retry withdraws one.
+/// When the bucket runs dry the failure is surfaced instead of retried.
+class RetryBudget {
+ public:
+  RetryBudget(double ratio, double burst)
+      : ratio_(ratio), burst_(burst), tokens_(burst) {}
+
+  void deposit() { tokens_ = std::min(burst_, tokens_ + ratio_); }
+
+  bool try_take() {
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      ++taken_;
+      return true;
+    }
+    ++denied_;
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+  std::uint64_t taken() const { return taken_; }
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  double ratio_;
+  double burst_;
+  double tokens_;
+  std::uint64_t taken_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace ntier::lb

@@ -39,6 +39,20 @@ struct WorkerRecord {
   /// this factor, exactly like mod_jk's lb_mult scaling.
   double weight = 1.0;
 
+  // -- probe-driven health (lb/health.h) -------------------------------------
+  /// EWMA of probe outcomes in [0, 1]; 1.0 = every recent probe succeeded.
+  double health = 1.0;
+  /// RTT of the most recent probe (timed-out probes report the timeout).
+  double probe_rtt_ms = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+  /// Circuit breaker: while open the worker is out of rotation regardless of
+  /// its mod_jk state; half_open_left > 0 admits trial requests.
+  bool breaker_open = false;
+  sim::SimTime breaker_until;
+  int half_open_left = 0;
+  std::uint64_t breaker_trips = 0;
+
   // -- statistics ------------------------------------------------------------
   std::uint64_t assigned = 0;    // endpoint acquired & request sent
   std::uint64_t completed = 0;   // responses received

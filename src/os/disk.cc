@@ -23,7 +23,7 @@ void Disk::start_next() {
   busy_ = true;
   busy_since_ = sim_.now();
   const Pending& head = queue_.front();
-  const double secs = static_cast<double>(head.bytes) / rate_;
+  const double secs = static_cast<double>(head.bytes) / (rate_ * rate_factor_);
   sim_.after(sim::SimTime::from_seconds(secs), [this] {
     busy_ns_ += static_cast<double>((sim_.now() - busy_since_).ns());
     busy_ = false;
@@ -32,6 +32,12 @@ void Disk::start_next() {
     start_next();
     if (done) done();
   });
+}
+
+void Disk::set_rate_factor(double factor) {
+  if (factor <= 0 || factor > 1.0)
+    throw std::invalid_argument("Disk: rate factor must be in (0, 1]");
+  rate_factor_ = factor;
 }
 
 double Disk::busy_seconds() const {

@@ -28,7 +28,15 @@ class Disk {
 
   bool busy() const { return busy_; }
   std::size_t queue_depth() const { return queue_.size(); }
-  double bytes_per_second() const { return rate_; }
+  double bytes_per_second() const { return rate_ * rate_factor_; }
+  double nominal_bytes_per_second() const { return rate_; }
+
+  /// Scale the effective write bandwidth (fault injection: a degraded
+  /// spindle, RAID rebuild, noisy neighbour). Applies from the next write;
+  /// the in-flight write finishes at the rate it started with. 1.0 restores
+  /// nominal throughput.
+  void set_rate_factor(double factor);
+  double rate_factor() const { return rate_factor_; }
 
   /// Cumulative busy time in seconds.
   double busy_seconds() const;
@@ -41,6 +49,7 @@ class Disk {
 
   sim::Simulation& sim_;
   double rate_;
+  double rate_factor_ = 1.0;
   std::string name_;
 
   struct Pending {

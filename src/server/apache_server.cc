@@ -22,6 +22,25 @@ ApacheServer::ApacheServer(sim::Simulation& simu, os::Node& node, int id,
       backlog_(config.listen_backlog),
       queue_trace_(trace_window) {
   assert(!tomcats_.empty());
+  if (config_.retry.enabled)
+    retry_budget_ = std::make_unique<lb::RetryBudget>(
+        config_.retry.budget_ratio, config_.retry.budget_burst);
+  if (config_.prober.enabled) {
+    // One probe = link round trip + a tiny CPU job at the Tomcat, so it
+    // experiences the same stalls as a request does.
+    prober_ = std::make_unique<lb::HealthProber>(
+        simu, *balancer_,
+        [this](int w, std::function<void(bool)> done) {
+          tomcat_link_.deliver(sim_, [this, w, done = std::move(done)]() mutable {
+            tomcats_[static_cast<std::size_t>(w)]->probe(
+                [this, done = std::move(done)](bool ok) mutable {
+                  tomcat_link_.deliver(sim_,
+                                       [done = std::move(done), ok] { done(ok); });
+                });
+          });
+        },
+        config_.prober);
+  }
 }
 
 bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
@@ -39,6 +58,7 @@ bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
 void ApacheServer::start_worker(Work w) {
   ++workers_busy_;
   w.req->accepted_at = sim_.now();
+  if (retry_budget_) retry_budget_->deposit();
   handle(std::move(w));
 }
 
@@ -46,36 +66,59 @@ void ApacheServer::handle(Work w) {
   // Front-end CPU (parsing, handler setup), then the mod_jk balancer.
   auto req = w.req;
   node_.cpu().submit(req->apache_demand, [this, w = std::move(w)]() mutable {
-    // Copy the request handle out before the capture moves `w` (argument
-    // evaluation order is unspecified).
-    auto r = w.req;
-    balancer_->assign(r, [this, w = std::move(w)](int idx) mutable {
-      if (idx < 0) {
-        finish(w, /*ok=*/false);  // mod_jk 503: no backend yielded an endpoint
-        return;
-      }
-      w.req->tomcat_id = static_cast<std::int16_t>(idx);
-      w.req->assigned_at = sim_.now();
-      auto* tomcat = tomcats_[static_cast<std::size_t>(idx)];
-      tomcat_link_.deliver(sim_, [this, w = std::move(w), tomcat, idx]() mutable {
-        const bool accepted = tomcat->submit(
-            w.req, [this, w, idx](const proto::RequestPtr&) {
-              tomcat_link_.deliver(sim_, [this, w, idx] {
-                w.req->backend_done_at = sim_.now();
-                balancer_->on_response(idx, w.req);
-                finish(w, /*ok=*/true);
-              });
-            });
-        if (!accepted) {
-          // Connector backlog overflow (not reachable with the paper's
-          // endpoint-pool sizing, handled for robustness): release the
-          // endpoint and fail the request.
-          balancer_->on_response(idx, w.req);
-          finish(w, /*ok=*/false);
-        }
-      });
-    });
+    dispatch(std::move(w), /*attempt=*/0);
   });
+}
+
+void ApacheServer::dispatch(Work w, int attempt) {
+  // Copy the request handle out before the capture moves `w` (argument
+  // evaluation order is unspecified).
+  auto r = w.req;
+  balancer_->assign(r, [this, w = std::move(w), attempt](int idx) mutable {
+    if (idx < 0) {
+      // mod_jk 503: no backend yielded an endpoint.
+      maybe_retry(std::move(w), attempt);
+      return;
+    }
+    w.req->tomcat_id = static_cast<std::int16_t>(idx);
+    w.req->assigned_at = sim_.now();
+    auto* tomcat = tomcats_[static_cast<std::size_t>(idx)];
+    tomcat_link_.deliver(
+        sim_, [this, w = std::move(w), tomcat, idx, attempt]() mutable {
+          const bool accepted = tomcat->submit(
+              w.req, [this, w, idx, attempt](const proto::RequestPtr&) {
+                tomcat_link_.deliver(sim_, [this, w, idx, attempt] {
+                  w.req->backend_done_at = sim_.now();
+                  balancer_->on_response(idx, w.req);
+                  if (attempt > 0) ++retry_successes_;
+                  finish(w, /*ok=*/true);
+                });
+              });
+          if (!accepted) {
+            // The backend refused after the endpoint was acquired — connector
+            // backlog overflow, or a crashed Tomcat (a connect failure in
+            // mod_jk terms). Release the endpoint, feed the failure into the
+            // worker's Busy/Error escalation, and retry elsewhere if allowed.
+            balancer_->on_response(idx, w.req);
+            balancer_->report_failure(idx);
+            maybe_retry(std::move(w), attempt);
+          }
+        });
+  });
+}
+
+void ApacheServer::maybe_retry(Work w, int attempt) {
+  const lb::RetryConfig& rc = config_.retry;
+  if (rc.enabled && attempt + 1 < rc.max_attempts &&
+      sim_.now() - w.req->accepted_at < rc.request_timeout &&
+      retry_budget_->try_take()) {
+    ++retries_;
+    sim_.after(rc.backoff(attempt), [this, w = std::move(w), attempt]() mutable {
+      dispatch(std::move(w), attempt + 1);
+    });
+    return;
+  }
+  finish(w, /*ok=*/false);
 }
 
 void ApacheServer::finish(const Work& w, bool ok) {

@@ -4,7 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "lb/health.h"
 #include "lb/load_balancer.h"
+#include "lb/retry.h"
 #include "metrics/time_series.h"
 #include "net/bounded_queue.h"
 #include "net/link.h"
@@ -27,6 +29,13 @@ struct ApacheConfig {
   /// Access-log bytes per request (dirties the Apache node's page cache;
   /// only matters in scenarios where Apache-side pdflush is enabled).
   std::uint32_t log_bytes = 200;
+
+  /// Active health probing of the Tomcats (off by default — the stock
+  /// mod_jk setup the paper studies has none).
+  lb::ProberConfig prober;
+  /// Front-end retry layer: budgeted, capped-backoff retries of balancer
+  /// 503s and backend refusals (off by default).
+  lb::RetryConfig retry;
 };
 
 /// Web tier front-end. Accepts client connections into a bounded backlog,
@@ -63,6 +72,16 @@ class ApacheServer final : public proto::FrontEnd {
   std::uint64_t syn_drops() const { return backlog_.drops(); }
   int workers_busy() const { return workers_busy_; }
 
+  /// Null unless ApacheConfig::prober.enabled.
+  const lb::HealthProber* prober() const { return prober_.get(); }
+  /// Null unless ApacheConfig::retry.enabled.
+  const lb::RetryBudget* retry_budget() const { return retry_budget_.get(); }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retry_successes() const { return retry_successes_; }
+
+  /// The Apache↔Tomcat link, exposed for fault injection.
+  net::Link& tomcat_link() { return tomcat_link_; }
+
  private:
   struct Work {
     proto::RequestPtr req;
@@ -70,6 +89,8 @@ class ApacheServer final : public proto::FrontEnd {
   };
   void start_worker(Work w);
   void handle(Work w);
+  void dispatch(Work w, int attempt);
+  void maybe_retry(Work w, int attempt);
   void finish(const Work& w, bool ok);
 
   sim::Simulation& sim_;
@@ -79,10 +100,14 @@ class ApacheServer final : public proto::FrontEnd {
   ApacheConfig config_;
   net::Link tomcat_link_;
   std::unique_ptr<lb::LoadBalancer> balancer_;
+  std::unique_ptr<lb::HealthProber> prober_;
+  std::unique_ptr<lb::RetryBudget> retry_budget_;
 
   net::BoundedQueue<Work> backlog_;
   int workers_busy_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retry_successes_ = 0;
   metrics::GaugeSeries queue_trace_;
 };
 

@@ -14,16 +14,30 @@ TomcatServer::TomcatServer(sim::Simulation& simu, os::Node& node, int id,
       completions_(trace_window) {}
 
 bool TomcatServer::submit(const proto::RequestPtr& req, RespondFn respond) {
+  if (crashed_) {
+    ++refused_while_crashed_;
+    return false;
+  }
   if (connector_queue_.size() >= config_.connector_backlog &&
       threads_busy_ >= config_.max_threads) {
     ++connector_drops_;
     return false;
   }
+  if (crashed_) ++crashed_accepts_;  // chaos invariant: must never happen
   ++resident_;
   queue_trace_.set(sim_.now(), resident_);
   connector_queue_.push_back(Work{req, std::move(respond)});
   dispatch();
   return true;
+}
+
+void TomcatServer::probe(std::function<void(bool)> done) {
+  if (crashed_) {
+    done(false);
+    return;
+  }
+  node_.cpu().submit(config_.probe_demand,
+                     [done = std::move(done)] { done(true); });
 }
 
 void TomcatServer::dispatch() {

@@ -18,6 +18,10 @@ struct TomcatConfig {
   /// AJP connector backlog. Not the drop site in the paper (the Apache-side
   /// endpoint pool caps in-flight below this), but bounded for realism.
   std::size_t connector_backlog = 1024;
+  /// CPU demand of answering one health probe (lb/health.h) — tiny, but on
+  /// the real CPU run queue, so a stalled CPU delays the answer past the
+  /// prober's timeout.
+  sim::SimTime probe_demand = sim::SimTime::micros(200);
 };
 
 /// Application tier. Each request: servlet CPU work, `db_queries` sequential
@@ -38,8 +42,25 @@ class TomcatServer {
 
   /// Deliver a request over an (already-acquired) AJP connection. `respond`
   /// fires at this server once processing finishes; the caller adds the
-  /// return-link latency. Returns false only on connector-backlog overflow.
+  /// return-link latency. Returns false on connector-backlog overflow or
+  /// while crashed.
   bool submit(const proto::RequestPtr& req, RespondFn respond);
+
+  /// Answer a health probe: refused instantly while crashed, otherwise a
+  /// tiny CPU job whose completion time reflects the run-queue depth (a
+  /// capacity-stalled CPU answers late — which is the point).
+  void probe(std::function<void(bool)> done);
+
+  /// Fault injection: a crashed Tomcat refuses new submits (the Apache sees
+  /// a connect failure on an endpoint it already holds) while in-flight work
+  /// drains normally — preserving request conservation.
+  void crash() { crashed_ = true; }
+  void restart() { crashed_ = false; }
+  bool crashed() const { return crashed_; }
+  /// Submits refused because of a crash (drives the balancer's Error path).
+  std::uint64_t refused_while_crashed() const { return refused_while_crashed_; }
+  /// Chaos invariant counter: accepted submits while crashed — must stay 0.
+  std::uint64_t crashed_accepts() const { return crashed_accepts_; }
 
   int id() const { return id_; }
   os::Node& node() { return node_; }
@@ -77,8 +98,11 @@ class TomcatServer {
   std::deque<Work> connector_queue_;
   int threads_busy_ = 0;
   int resident_ = 0;
+  bool crashed_ = false;
   std::uint64_t served_ = 0;
   std::uint64_t connector_drops_ = 0;
+  std::uint64_t refused_while_crashed_ = 0;
+  std::uint64_t crashed_accepts_ = 0;
   metrics::GaugeSeries queue_trace_;
   metrics::TimeSeries completions_;
 };

@@ -50,6 +50,7 @@ void ClientPopulation::start() {
 }
 
 void ClientPopulation::issue(std::uint16_t client) {
+  if (quiesced_) return;
   const int prev =
       prev_.empty() ? -1 : static_cast<int>(prev_[client % prev_.size()]);
   auto req = workload_.make_request(rng_, next_request_id_++, client, prev);
@@ -67,6 +68,14 @@ void ClientPopulation::issue(std::uint16_t client) {
 void ClientPopulation::attempt(std::uint16_t client,
                                const proto::RequestPtr& req,
                                std::size_t tries) {
+  // An injected link fault can lose the SYN on the wire; like a silent
+  // backlog drop, that is only discovered by the retransmission timer. Loss
+  // is deliberately not applied to responses — the client has no response
+  // timeout, so a lost response would leak the request as forever-in-flight.
+  if (link_.drops(rng_)) {
+    connect_dropped(client, req, tries);
+    return;
+  }
   // SYN travels one link latency; acceptance or silent drop happens at the
   // server side. A drop is only discovered by the retransmission timer.
   link_.deliver(sim_, [this, client, req, tries] {
@@ -80,18 +89,21 @@ void ClientPopulation::attempt(std::uint16_t client,
                       : metrics::RequestOutcome::kBalancerError);
           });
         });
-    if (!accepted) {
-      ++connection_drops_;
-      if (tries < params_.retransmit.max_retries()) {
-        req->retransmissions =
-            static_cast<std::uint8_t>(req->retransmissions + 1);
-        sim_.after(params_.retransmit.delay(tries),
-                   [this, client, req, tries] { attempt(client, req, tries + 1); });
-      } else {
-        finish(client, req, metrics::RequestOutcome::kDropped);
-      }
-    }
+    if (!accepted) connect_dropped(client, req, tries);
   });
+}
+
+void ClientPopulation::connect_dropped(std::uint16_t client,
+                                       const proto::RequestPtr& req,
+                                       std::size_t tries) {
+  ++connection_drops_;
+  if (tries < params_.retransmit.max_retries()) {
+    req->retransmissions = static_cast<std::uint8_t>(req->retransmissions + 1);
+    sim_.after(params_.retransmit.delay(tries),
+               [this, client, req, tries] { attempt(client, req, tries + 1); });
+  } else {
+    finish(client, req, metrics::RequestOutcome::kDropped);
+  }
 }
 
 void ClientPopulation::finish(std::uint16_t client, const proto::RequestPtr& req,

@@ -54,6 +54,17 @@ class ClientPopulation {
   /// Schedule every client's first request. Call once before running.
   void start();
 
+  /// Stop issuing new requests (in-flight ones drain normally). The chaos
+  /// harness calls this, then runs the simulation on so it can assert
+  /// in_flight() == 0 — request conservation — once the drain settles.
+  void quiesce() { quiesced_ = true; }
+  bool quiesced() const { return quiesced_; }
+
+  /// The client↔Apache link, exposed for fault injection. Injected loss is
+  /// applied to connect attempts (a lost SYN is recovered by the
+  /// retransmission schedule, like a silent backlog drop).
+  net::Link& link() { return link_; }
+
   /// Observation hook fired at every issued request (arrival-trace
   /// recording); set before start().
   using IssueHook =
@@ -76,6 +87,8 @@ class ClientPopulation {
   void issue(std::uint16_t client);
   void attempt(std::uint16_t client, const proto::RequestPtr& req,
                std::size_t tries);
+  void connect_dropped(std::uint16_t client, const proto::RequestPtr& req,
+                       std::size_t tries);
   void finish(std::uint16_t client, const proto::RequestPtr& req,
               metrics::RequestOutcome outcome);
   void think_then_next(std::uint16_t client);
@@ -93,6 +106,7 @@ class ClientPopulation {
   std::vector<std::int16_t> prev_;    // per-client last interaction (Markov)
   IssueHook issue_hook_;
   bool in_burst_ = false;
+  bool quiesced_ = false;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ok_ = 0;

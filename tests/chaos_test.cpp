@@ -1,0 +1,123 @@
+#include "experiment/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/config.h"
+#include "experiment/experiment.h"
+#include "millib/fault_plan.h"
+
+namespace ntier::experiment {
+namespace {
+
+using sim::SimTime;
+
+ChaosMatrixOptions small_matrix() {
+  ChaosMatrixOptions opt;
+  opt.chaos_seed = 42;
+  opt.num_apaches = 2;
+  opt.num_tomcats = 3;
+  opt.num_clients = 200;
+  opt.think_mean = SimTime::millis(200);
+  opt.traffic = SimTime::seconds(6);
+  // Drain must outlast the worst client retransmission chain (5 x 1 s) so
+  // conservation can be checked with zero requests still in flight.
+  opt.drain = SimTime::seconds(6);
+  return opt;
+}
+
+TEST(ChaosMatrix, PlanIsSeedDeterministicAcrossCells) {
+  const auto opt = small_matrix();
+  EXPECT_EQ(matrix_plan(opt).trace_string(), matrix_plan(opt).trace_string());
+  auto other = opt;
+  other.chaos_seed = 43;
+  EXPECT_NE(matrix_plan(opt).trace_string(), matrix_plan(other).trace_string());
+}
+
+// The headline safety check: one seeded fault schedule replayed against
+// every policy x mechanism combination, with all three invariants holding
+// in every cell.
+TEST(ChaosMatrix, AllPoliciesAndMechanismsSurviveTheFaultSchedule) {
+  const auto opt = small_matrix();
+  const auto results = run_chaos_matrix(opt);
+  ASSERT_EQ(results.size(), 21u);  // 7 policies x 3 mechanisms
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.label);
+    EXPECT_TRUE(r.invariants.conservation_ok()) << r.invariants.to_string();
+    EXPECT_TRUE(r.invariants.pools_ok()) << r.invariants.to_string();
+    EXPECT_TRUE(r.invariants.crash_ok()) << r.invariants.to_string();
+    EXPECT_GT(r.invariants.issued, 0u);
+    EXPECT_GT(r.invariants.completed, 0u);
+    EXPECT_FALSE(r.fault_trace.empty());
+  }
+}
+
+// Same matrix with the resilience layer on: the safety properties must be
+// preserved when the prober, breaker and retry path are all active.
+TEST(ChaosMatrix, ResilienceLayerPreservesInvariants) {
+  auto opt = small_matrix();
+  opt.resilience = true;
+  opt.chaos_seed = 7;
+  const auto results = run_chaos_matrix(opt);
+  ASSERT_EQ(results.size(), 21u);
+  std::uint64_t probes = 0;
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.label);
+    EXPECT_TRUE(r.invariants.ok()) << r.invariants.to_string();
+    probes += r.probes_sent;
+  }
+  EXPECT_GT(probes, 0u);  // the prober really ran in the resilient cells
+}
+
+// Satellite 4: identical seeds must give byte-identical runs — summary JSON
+// and the applied/cleared fault trace both match.
+TEST(ChaosDeterminism, IdenticalSeedsProduceIdenticalTraces) {
+  auto make_config = [] {
+    ExperimentConfig c;
+    c.label = "chaos_determinism";
+    c.seed = 99;
+    c.num_apaches = 2;
+    c.num_tomcats = 3;
+    c.num_clients = 150;
+    c.think_mean = SimTime::millis(200);
+    c.warmup = SimTime::millis(500);
+    c.tomcat_millibottlenecks = false;
+    c.tracing = false;
+    millib::FaultPlanConfig fc;
+    fc.initial_offset = SimTime::seconds(1);
+    fc.mean_gap = SimTime::millis(700);
+    fc.max_duration = SimTime::millis(1000);
+    fc.max_faults = 8;
+    fc.horizon = SimTime::seconds(4);
+    c.fault_plan = millib::FaultPlan::randomized(5, fc, 3);
+    c.enable_resilience();
+    return c;
+  };
+
+  const auto a =
+      run_chaos(make_config(), SimTime::seconds(5), SimTime::seconds(6));
+  const auto b =
+      run_chaos(make_config(), SimTime::seconds(5), SimTime::seconds(6));
+
+  EXPECT_GT(a.invariants.issued, 0u);
+  EXPECT_FALSE(a.fault_trace.empty());
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.summary.to_json_string(), b.summary.to_json_string());
+  EXPECT_EQ(a.breaker_trips, b.breaker_trips);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  // And a different chaos seed actually changes the episode trace.
+  auto c = make_config();
+  millib::FaultPlanConfig fc;
+  fc.initial_offset = SimTime::seconds(1);
+  fc.mean_gap = SimTime::millis(700);
+  fc.max_duration = SimTime::millis(1000);
+  fc.max_faults = 8;
+  fc.horizon = SimTime::seconds(4);
+  c.fault_plan = millib::FaultPlan::randomized(6, fc, 3);
+  const auto d = run_chaos(std::move(c), SimTime::seconds(5),
+                           SimTime::seconds(6));
+  EXPECT_NE(a.fault_trace, d.fault_trace);
+}
+
+}  // namespace
+}  // namespace ntier::experiment

@@ -128,5 +128,136 @@ TEST(Acquirer, FactoryAndNames) {
   EXPECT_EQ(b->name(), "modified_get_endpoint");
 }
 
+TEST(EndpointPool, CancelWaiterPreventsGrant) {
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  bool granted_ran = false;
+  const auto id = pool.acquire_or_wait([&](bool) { granted_ran = true; });
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(pool.waiting(), 1u);
+  EXPECT_TRUE(pool.cancel_waiter(id));
+  EXPECT_EQ(pool.waiting(), 0u);
+  // The released slot must go back to the pool, not to the cancelled waiter.
+  pool.release();
+  EXPECT_FALSE(granted_ran);
+  EXPECT_EQ(pool.in_use(), 0u);
+  // Second cancel of the same id reports the waiter is already gone.
+  EXPECT_FALSE(pool.cancel_waiter(id));
+}
+
+TEST(EndpointPool, SynchronousGrantReturnsZeroId) {
+  EndpointPool pool(1);
+  bool ok = false;
+  EXPECT_EQ(pool.acquire_or_wait([&](bool r) { ok = r; }), 0u);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(EndpointPool, DrainFailsAllWaitersAndKeepsHeldSlots) {
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  int granted = 0, failed = 0;
+  pool.acquire_or_wait([&](bool r) { (r ? granted : failed)++; });
+  pool.acquire_or_wait([&](bool r) { (r ? granted : failed)++; });
+  EXPECT_EQ(pool.waiting(), 2u);
+  pool.drain();
+  EXPECT_EQ(failed, 2);
+  EXPECT_EQ(granted, 0);
+  EXPECT_EQ(pool.waiting(), 0u);
+  // The held slot is untouched; its eventual release finds no waiters.
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(EndpointPool, GrowingCapacityAdmitsWaiters) {
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  int granted = 0;
+  pool.acquire_or_wait([&](bool r) { granted += r ? 1 : 0; });
+  pool.acquire_or_wait([&](bool r) { granted += r ? 1 : 0; });
+  pool.set_capacity(3);
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 3u);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(EndpointPool, ShrunkCapacityRetiresSlotsOnRelease) {
+  EndpointPool pool(3);
+  ASSERT_TRUE(pool.try_acquire());
+  ASSERT_TRUE(pool.try_acquire());
+  ASSERT_TRUE(pool.try_acquire());
+  pool.set_capacity(1);
+  bool granted = false;
+  pool.acquire_or_wait([&](bool r) { granted = r; });
+  // First two releases retire over-capacity slots instead of waking the
+  // waiter (satellite fix: release re-checks capacity after a fault-injected
+  // change); the third hands the (now-legal) slot over.
+  pool.release();
+  pool.release();
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.release();
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(QueueingAcquirer, WaitsForReleaseUnbounded) {
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  WorkerRecord rec;
+  QueueingAcquirer acq;
+  SimTime got;
+  bool ok = false;
+  acq.acquire(s, pool, rec, [&](bool r) {
+    ok = r;
+    got = s.now();
+  });
+  s.after(SimTime::millis(750), [&] { pool.release(); });
+  s.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, SimTime::millis(750));  // condvar hand-off, no polling lag
+}
+
+TEST(QueueingAcquirer, BoundedWaitTimesOutAndCancelsWaiter) {
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  WorkerRecord rec;
+  QueueingAcquirer acq(QueueingAcquirer::Params{SimTime::millis(100)});
+  bool done = false, ok = true;
+  acq.acquire(s, pool, rec, [&](bool r) {
+    done = true;
+    ok = r;
+  });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(s.now(), SimTime::millis(100));
+  // The timed-out waiter withdrew: a later release must not double-grant.
+  EXPECT_EQ(pool.waiting(), 0u);
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(QueueingAcquirer, BoundedWaitStillGrantsBeforeTimeout) {
+  Simulation s;
+  EndpointPool pool(1);
+  ASSERT_TRUE(pool.try_acquire());
+  WorkerRecord rec;
+  QueueingAcquirer acq(QueueingAcquirer::Params{SimTime::millis(100)});
+  int calls = 0;
+  bool ok = false;
+  acq.acquire(s, pool, rec, [&](bool r) {
+    ++calls;
+    ok = r;
+  });
+  s.after(SimTime::millis(40), [&] { pool.release(); });
+  s.run();
+  EXPECT_EQ(calls, 1);  // the timeout event must not fire a second outcome
+  EXPECT_TRUE(ok);
+}
+
 }  // namespace
 }  // namespace ntier::lb

@@ -1,0 +1,117 @@
+#include "millib/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace ntier::millib {
+namespace {
+
+using sim::SimTime;
+
+TEST(FaultPlan, RandomizedIsSeedDeterministic) {
+  FaultPlanConfig cfg;
+  const auto a = FaultPlan::randomized(1234, cfg, 4);
+  const auto b = FaultPlan::randomized(1234, cfg, 4);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.trace_string(), b.trace_string());
+
+  const auto c = FaultPlan::randomized(1235, cfg, 4);
+  EXPECT_NE(a.trace_string(), c.trace_string());
+}
+
+TEST(FaultPlan, RandomizedRespectsConfigBounds) {
+  FaultPlanConfig cfg;
+  cfg.max_faults = 6;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto plan = FaultPlan::randomized(seed, cfg, 3);
+    EXPECT_LE(plan.size(), cfg.max_faults);
+    for (const auto& spec : plan.specs) {
+      EXPECT_GE(spec.start, cfg.initial_offset);
+      EXPECT_LT(spec.start, cfg.horizon);
+      EXPECT_GE(spec.duration, cfg.min_duration);
+      EXPECT_LE(spec.duration, cfg.max_duration);
+      switch (spec.kind) {
+        case FaultKind::kCorrelatedStall:
+        case FaultKind::kLinkFault:
+          EXPECT_EQ(spec.worker, -1);
+          break;
+        default:
+          EXPECT_GE(spec.worker, 0);
+          EXPECT_LT(spec.worker, 3);
+          break;
+      }
+      if (spec.kind == FaultKind::kLinkFault) {
+        EXPECT_GE(spec.loss_probability, 0.05);
+        EXPECT_LE(spec.loss_probability, cfg.max_loss_probability);
+        EXPECT_LE(spec.extra_latency, cfg.max_extra_latency);
+      }
+      if (spec.kind == FaultKind::kPoolLeak) {
+        EXPECT_EQ(spec.leak_slots, cfg.leak_slots);
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, ZeroWeightDisablesAKind) {
+  FaultPlanConfig cfg;
+  cfg.kind_weights = {1, 0, 0, 0, 0, 0};  // capacity stalls only
+  cfg.max_faults = 32;
+  const auto plan = FaultPlan::randomized(7, cfg, 4);
+  for (const auto& spec : plan.specs)
+    EXPECT_EQ(spec.kind, FaultKind::kCapacityStall);
+}
+
+TEST(FaultPlan, PeriodicStallsMatchInjectorSchedule) {
+  const auto plan = FaultPlan::periodic_stalls(
+      /*worker=*/2, /*period=*/SimTime::seconds(1),
+      /*duration=*/SimTime::millis(150), /*severity=*/1.0,
+      /*initial_offset=*/SimTime::seconds(1), /*horizon=*/SimTime::seconds(5));
+  ASSERT_EQ(plan.size(), 4u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan.specs[i].kind, FaultKind::kCapacityStall);
+    EXPECT_EQ(plan.specs[i].worker, 2);
+    EXPECT_EQ(plan.specs[i].start,
+              SimTime::seconds(1) * static_cast<std::int64_t>(i) +
+                  SimTime::seconds(1));
+    EXPECT_EQ(plan.specs[i].duration, SimTime::millis(150));
+  }
+}
+
+TEST(FaultPlan, MergeKeepsScheduleOrder) {
+  FaultSpec late;
+  late.kind = FaultKind::kCrash;
+  late.worker = 0;
+  late.start = SimTime::seconds(9);
+  late.duration = SimTime::seconds(1);
+  auto plan = FaultPlan::single(late);
+  plan.merge(FaultPlan::periodic_stalls(1, SimTime::seconds(2),
+                                        SimTime::millis(100), 1.0,
+                                        SimTime::seconds(1),
+                                        SimTime::seconds(8)));
+  ASSERT_GE(plan.size(), 2u);
+  for (std::size_t i = 1; i < plan.size(); ++i)
+    EXPECT_LE(plan.specs[i - 1].start, plan.specs[i].start);
+  EXPECT_EQ(plan.specs.back().kind, FaultKind::kCrash);
+}
+
+TEST(FaultPlan, InvalidInputsThrow) {
+  FaultPlanConfig cfg;
+  EXPECT_THROW(FaultPlan::randomized(1, cfg, 0), std::invalid_argument);
+  cfg.kind_weights = {1, 2, 3};  // must list all six kinds
+  EXPECT_THROW(FaultPlan::randomized(1, cfg, 4), std::invalid_argument);
+}
+
+TEST(FaultPlan, SpecToStringNamesEveryKind) {
+  FaultSpec spec;
+  spec.start = SimTime::seconds(1);
+  spec.duration = SimTime::millis(100);
+  for (auto kind :
+       {FaultKind::kCapacityStall, FaultKind::kCorrelatedStall,
+        FaultKind::kCrash, FaultKind::kLinkFault, FaultKind::kPoolLeak,
+        FaultKind::kDiskDegrade}) {
+    spec.kind = kind;
+    EXPECT_NE(spec.to_string().find(to_string(kind)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ntier::millib

@@ -187,9 +187,9 @@ TEST(QueueingPool, WaitersWakeInFifoOrder) {
   Simulation s;
   EndpointPool pool(1);
   std::vector<int> order;
-  pool.acquire_or_wait([&] { order.push_back(0); });
-  pool.acquire_or_wait([&] { order.push_back(1); });
-  pool.acquire_or_wait([&] { order.push_back(2); });
+  pool.acquire_or_wait([&](bool ok) { if (ok) order.push_back(0); });
+  pool.acquire_or_wait([&](bool ok) { if (ok) order.push_back(1); });
+  pool.acquire_or_wait([&](bool ok) { if (ok) order.push_back(2); });
   EXPECT_EQ(order, (std::vector<int>{0}));
   EXPECT_EQ(pool.waiting(), 2u);
   pool.release();  // slot handed to waiter 1

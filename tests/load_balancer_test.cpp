@@ -149,6 +149,110 @@ TEST(LoadBalancer, RepeatedFailuresEscalateToError) {
   EXPECT_EQ(lb->record(0).consecutive_failures, 3);
 }
 
+TEST(LoadBalancer, ErrorWorkerReadmittedAfterRecoveryInterval) {
+  Simulation s;
+  BalancerConfig cfg;
+  cfg.endpoint_pool_size = 1;
+  cfg.busy_recovery = SimTime::millis(10);
+  cfg.failures_to_error = 3;
+  cfg.error_recovery = SimTime::millis(500);
+  auto lb = make_lb(s, PolicyKind::kTotalRequest, MechanismKind::kNonBlocking, cfg);
+
+  auto stuck = make_req(1);
+  lb->assign(stuck, [](int idx) { ASSERT_EQ(idx, 0); });  // pin worker 0
+  for (int t = 1; t <= 3; ++t) {
+    auto req = make_req();
+    lb->assign(req, [&, req](int idx) { lb->on_response(idx, req); });
+  }
+  // Three failures across Busy windows escalate worker 0 to Error at 60 ms
+  // (Error until 560 ms).
+  for (int i = 1; i <= 3; ++i) {
+    s.after(SimTime::millis(20 * i), [&] {
+      auto req = make_req();
+      lb->assign(req, [&, req](int idx) {
+        if (idx >= 0) lb->on_response(idx, req);
+      });
+    });
+  }
+  // Free worker 0's endpoint; it is still sidelined by the Error state.
+  s.after(SimTime::millis(100), [&] { lb->on_response(0, stuck); });
+  int during_error = -2;
+  s.after(SimTime::millis(200), [&] {
+    auto req = make_req();
+    lb->assign(req, [&, req](int idx) {
+      during_error = idx;
+      if (idx >= 0) lb->on_response(idx, req);
+    });
+  });
+  int after_recovery = -2;
+  s.after(SimTime::millis(600), [&] {
+    auto req = make_req();
+    lb->assign(req, [&, req](int idx) {
+      after_recovery = idx;
+      if (idx >= 0) lb->on_response(idx, req);
+    });
+  });
+  s.run();
+  // While Error (and despite a free endpoint + minimal lb_value) worker 0 is
+  // skipped; after mod_jk's `retry` elapses it is re-admitted and, with the
+  // lowest lb_value, picked first again.
+  EXPECT_GT(during_error, 0);
+  EXPECT_EQ(after_recovery, 0);
+  EXPECT_EQ(lb->record(0).state, WorkerState::kAvailable);
+  EXPECT_EQ(lb->record(0).consecutive_failures, 0);
+}
+
+TEST(LoadBalancer, StickyForceFailsInsteadOfFallingBack) {
+  Simulation s;
+  BalancerConfig cfg;
+  cfg.endpoint_pool_size = 1;
+  cfg.sticky_sessions = true;
+  cfg.sticky_force = true;
+  auto lb = make_lb(s, PolicyKind::kTotalRequest, MechanismKind::kNonBlocking, cfg);
+
+  auto pinned = make_req(1);
+  pinned->session_route = 2;
+  lb->assign(pinned, [](int idx) { ASSERT_EQ(idx, 2); });  // holds the slot
+
+  // Same route, pool exhausted: with sticky_session_force there is no
+  // fallback to the policy — the request fails with a balancer 503.
+  auto second = make_req(2);
+  second->session_route = 2;
+  int got = -2;
+  lb->assign(second, [&](int idx) { got = idx; });
+  EXPECT_EQ(got, -1);
+  EXPECT_EQ(lb->balancer_errors(), 1u);
+  // The failed acquisition marked the owner Busy; a third routed request is
+  // refused up front, without even attempting the worker.
+  EXPECT_EQ(lb->record(2).state, WorkerState::kBusy);
+  auto third = make_req(3);
+  third->session_route = 2;
+  got = -2;
+  lb->assign(third, [&](int idx) { got = idx; });
+  EXPECT_EQ(got, -1);
+  EXPECT_EQ(lb->balancer_errors(), 2u);
+  EXPECT_EQ(lb->record(2).acquire_failures, 1u);
+}
+
+TEST(LoadBalancer, StickyWithoutForceFallsBackToPolicy) {
+  Simulation s;
+  BalancerConfig cfg;
+  cfg.endpoint_pool_size = 1;
+  cfg.sticky_sessions = true;
+  auto lb = make_lb(s, PolicyKind::kTotalRequest, MechanismKind::kNonBlocking, cfg);
+
+  auto pinned = make_req(1);
+  pinned->session_route = 2;
+  lb->assign(pinned, [](int idx) { ASSERT_EQ(idx, 2); });
+  auto second = make_req(2);
+  second->session_route = 2;
+  int got = -2;
+  lb->assign(second, [&](int idx) { got = idx; });
+  EXPECT_GE(got, 0);
+  EXPECT_NE(got, 2);
+  EXPECT_EQ(lb->balancer_errors(), 0u);
+}
+
 TEST(LoadBalancer, AllWorkersExhaustedIsBalancerError) {
   Simulation s;
   BalancerConfig cfg;

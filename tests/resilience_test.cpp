@@ -1,0 +1,245 @@
+#include "lb/health.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/chaos.h"
+#include "experiment/experiment.h"
+#include "lb/load_balancer.h"
+#include "lb/retry.h"
+#include "millib/fault_plan.h"
+#include "sim/simulation.h"
+
+namespace ntier::lb {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+proto::RequestPtr make_req(std::uint64_t id = 1) {
+  auto r = std::make_shared<proto::Request>();
+  r->id = id;
+  r->request_bytes = 400;
+  r->response_bytes = 1600;
+  return r;
+}
+
+BalancerConfig breaker_config() {
+  BalancerConfig cfg;
+  cfg.breaker.enabled = true;
+  cfg.breaker.ewma_alpha = 0.5;
+  cfg.breaker.trip_threshold = 0.5;
+  cfg.breaker.open_duration = SimTime::millis(500);
+  cfg.breaker.half_open_trials = 2;
+  return cfg;
+}
+
+std::unique_ptr<LoadBalancer> make_lb(Simulation& s, BalancerConfig cfg = {}) {
+  return std::make_unique<LoadBalancer>(
+      s, 4, make_policy(PolicyKind::kTotalRequest),
+      make_acquirer(MechanismKind::kNonBlocking), cfg);
+}
+
+TEST(Breaker, ProbeOutcomesDriveHealthEwma) {
+  Simulation s;
+  auto lb = make_lb(s);  // breaker disabled: health still tracked
+  EXPECT_DOUBLE_EQ(lb->record(0).health, 1.0);
+  lb->report_probe(0, false, SimTime::millis(5));
+  EXPECT_NEAR(lb->record(0).health, 0.7, 1e-9);  // default alpha 0.3
+  lb->report_probe(0, true, SimTime::millis(2));
+  EXPECT_NEAR(lb->record(0).health, 0.79, 1e-9);
+  EXPECT_EQ(lb->record(0).probes, 2u);
+  EXPECT_EQ(lb->record(0).probe_failures, 1u);
+  EXPECT_DOUBLE_EQ(lb->record(0).probe_rtt_ms, 2.0);
+  // Disabled breaker never trips, however low health goes.
+  for (int i = 0; i < 20; ++i) lb->report_probe(0, false, SimTime::millis(5));
+  EXPECT_FALSE(lb->record(0).breaker_open);
+}
+
+TEST(Breaker, TripsWorkerOutOfRotationOnProbeEvidence) {
+  Simulation s;
+  auto lb = make_lb(s, breaker_config());
+  // alpha .5: two failed probes bring health to .25 < .5 -> trip.
+  lb->report_probe(0, false, SimTime::millis(30));
+  EXPECT_FALSE(lb->record(0).breaker_open);
+  lb->report_probe(0, false, SimTime::millis(30));
+  EXPECT_TRUE(lb->record(0).breaker_open);
+  EXPECT_EQ(lb->breaker_trips(), 1u);
+  // The tripped worker is skipped even though its mod_jk state is Available
+  // and its pool has free endpoints.
+  EXPECT_EQ(lb->record(0).state, WorkerState::kAvailable);
+  for (int i = 0; i < 8; ++i) {
+    auto req = make_req(static_cast<std::uint64_t>(i));
+    lb->assign(req, [&, req](int idx) {
+      ASSERT_GT(idx, 0);
+      lb->on_response(idx, req);
+    });
+  }
+}
+
+TEST(Breaker, HalfOpenReadmissionAfterOpenDuration) {
+  Simulation s;
+  auto lb = make_lb(s, breaker_config());
+  lb->report_probe(0, false, SimTime::millis(30));
+  lb->report_probe(0, false, SimTime::millis(30));
+  ASSERT_TRUE(lb->record(0).breaker_open);
+
+  // A successful probe before open_duration elapses does not re-admit.
+  s.after(SimTime::millis(100), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_TRUE(lb->record(0).breaker_open);
+  });
+  // After open_duration, a successful probe moves the worker to half-open
+  // with trial requests, and it is assignable again.
+  s.after(SimTime::millis(600), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_FALSE(lb->record(0).breaker_open);
+    EXPECT_EQ(lb->record(0).half_open_left, 2);
+    auto req = make_req();
+    lb->assign(req, [&, req](int idx) {
+      EXPECT_EQ(idx, 0);
+      lb->on_response(idx, req);
+    });
+    EXPECT_EQ(lb->record(0).half_open_left, 1);
+  });
+  s.run();
+  EXPECT_EQ(lb->breaker_trips(), 1u);
+}
+
+TEST(Breaker, FailedProbeWhileOpenExtendsTheOpenWindow) {
+  Simulation s;
+  auto lb = make_lb(s, breaker_config());
+  lb->report_probe(0, false, SimTime::millis(30));
+  lb->report_probe(0, false, SimTime::millis(30));
+  ASSERT_TRUE(lb->record(0).breaker_open);
+  // A failure at 400 ms pushes breaker_until to 900 ms, so a success at
+  // 600 ms (past the original 500 ms window) must not re-admit yet.
+  s.after(SimTime::millis(400), [&] {
+    lb->report_probe(0, false, SimTime::millis(30));
+  });
+  s.after(SimTime::millis(600), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_TRUE(lb->record(0).breaker_open);
+  });
+  s.after(SimTime::millis(950), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_FALSE(lb->record(0).breaker_open);
+  });
+  s.run();
+}
+
+TEST(Breaker, FailureDuringHalfOpenReopensImmediately) {
+  Simulation s;
+  auto lb = make_lb(s, breaker_config());
+  lb->report_probe(0, false, SimTime::millis(30));
+  lb->report_probe(0, false, SimTime::millis(30));
+  s.after(SimTime::millis(600), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    ASSERT_FALSE(lb->record(0).breaker_open);
+    ASSERT_GT(lb->record(0).half_open_left, 0);
+    // The trial request's backend refuses: straight back to open.
+    lb->report_failure(0);
+    EXPECT_TRUE(lb->record(0).breaker_open);
+    EXPECT_EQ(lb->record(0).half_open_left, 0);
+  });
+  s.run();
+  EXPECT_EQ(lb->breaker_trips(), 2u);
+}
+
+TEST(HealthProber, ProbesEveryWorkerAndTimesOutSilentOnes) {
+  Simulation s;
+  auto lb = make_lb(s, breaker_config());
+  ProberConfig pc;
+  pc.enabled = true;
+  pc.interval = SimTime::millis(100);
+  pc.timeout = SimTime::millis(30);
+  // Worker 0 never answers; the rest answer in 1 ms.
+  HealthProber prober(
+      s, *lb,
+      [&s](int worker, std::function<void(bool)> done) {
+        if (worker == 0) return;  // silent — the prober's timeout must cover it
+        s.after(SimTime::millis(1), [done = std::move(done)] { done(true); });
+      },
+      pc);
+  s.run_until(SimTime::seconds(1));
+  EXPECT_GT(prober.probes_sent(), 30u);   // 4 workers, ~10 rounds
+  EXPECT_GE(prober.probes_timed_out(), 5u);
+  EXPECT_GT(lb->record(0).probe_failures, 0u);
+  EXPECT_EQ(lb->record(1).probe_failures, 0u);
+  EXPECT_LT(lb->record(0).health, 0.1);
+  EXPECT_GT(lb->record(1).health, 0.9);
+  EXPECT_TRUE(lb->record(0).breaker_open);
+  EXPECT_FALSE(lb->record(1).breaker_open);
+}
+
+TEST(RetryBudget, TokenBucketDepositAndDenial) {
+  RetryBudget budget(0.5, 2.0);
+  EXPECT_TRUE(budget.try_take());   // 2 -> 1
+  EXPECT_TRUE(budget.try_take());   // 1 -> 0
+  EXPECT_FALSE(budget.try_take());  // dry
+  EXPECT_EQ(budget.taken(), 2u);
+  EXPECT_EQ(budget.denied(), 1u);
+  budget.deposit();
+  EXPECT_FALSE(budget.try_take());  // 0.5 token is not a whole retry
+  budget.deposit();
+  EXPECT_TRUE(budget.try_take());
+  for (int i = 0; i < 100; ++i) budget.deposit();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);  // capped at burst
+}
+
+TEST(RetryConfig, BackoffDoublesAndCaps) {
+  RetryConfig rc;
+  rc.base_backoff = SimTime::millis(20);
+  rc.max_backoff = SimTime::millis(100);
+  EXPECT_EQ(rc.backoff(0), SimTime::millis(20));
+  EXPECT_EQ(rc.backoff(1), SimTime::millis(40));
+  EXPECT_EQ(rc.backoff(2), SimTime::millis(80));
+  EXPECT_EQ(rc.backoff(3), SimTime::millis(100));
+  EXPECT_EQ(rc.backoff(9), SimTime::millis(100));
+}
+
+// End-to-end: a backend crash under the stock blocking mechanism surfaces as
+// client-visible errors; the resilience layer (prober + breaker + budgeted
+// retries) absorbs the same crash.
+TEST(Resilience, CrashRecoveryBeatsStockBlocking) {
+  using experiment::ExperimentConfig;
+  auto base = [] {
+    ExperimentConfig c;
+    c.label = "resilience_crash";
+    c.num_apaches = 1;
+    c.num_tomcats = 2;
+    c.num_clients = 200;
+    c.think_mean = SimTime::millis(200);
+    c.warmup = SimTime::millis(500);
+    c.tomcat_millibottlenecks = false;
+    c.tracing = false;
+    millib::FaultSpec crash;
+    crash.kind = millib::FaultKind::kCrash;
+    crash.worker = 0;
+    crash.start = SimTime::seconds(2);
+    crash.duration = SimTime::seconds(2);
+    c.fault_plan = millib::FaultPlan::single(crash);
+    return c;
+  };
+
+  auto stock = experiment::run_chaos(base(), SimTime::seconds(8),
+                                     SimTime::seconds(6));
+  auto resilient_cfg = base();
+  resilient_cfg.enable_resilience();
+  auto resilient = experiment::run_chaos(std::move(resilient_cfg),
+                                         SimTime::seconds(8),
+                                         SimTime::seconds(6));
+
+  // Both runs stay safe...
+  EXPECT_TRUE(stock.invariants.ok()) << stock.invariants.to_string();
+  EXPECT_TRUE(resilient.invariants.ok()) << resilient.invariants.to_string();
+  // ...but only the stock mechanism exposes the crash to clients.
+  EXPECT_GT(stock.invariants.failed, 0u);
+  EXPECT_LT(resilient.invariants.failed, stock.invariants.failed);
+  EXPECT_GT(resilient.probes_sent, 0u);
+  EXPECT_GE(resilient.breaker_trips, 1u);
+  EXPECT_GT(resilient.retries, 0u);
+  EXPECT_GT(resilient.retry_successes, 0u);
+}
+
+}  // namespace
+}  // namespace ntier::lb
