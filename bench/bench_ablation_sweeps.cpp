@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   for (const auto t : {50, 100, 300, 900}) {
     auto c = base();
     c.balancer.blocking.acquire_timeout = sim::SimTime::millis(t);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report(std::to_string(t) + " ms", *e);
   }
 
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   for (const auto t : {10, 50, 100}) {
     auto c = base();
     c.balancer.blocking.sleep_interval = sim::SimTime::millis(t);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report(std::to_string(t) + " ms", *e);
   }
 
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   for (const auto n : {25, 50, 100, 200}) {
     auto c = base();
     c.balancer.endpoint_pool_size = static_cast<std::size_t>(n);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report(std::to_string(n) + " endpoints", *e);
   }
 
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     auto c = base();
     c.mechanism = MechanismKind::kNonBlocking;
     c.balancer.busy_recovery = sim::SimTime::millis(t);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report(std::to_string(t) + " ms", *e);
   }
 
@@ -88,21 +88,21 @@ int main(int argc, char** argv) {
   {
     auto c = base();
     c.retransmit = net::RetransmitSchedule::constant(sim::SimTime::seconds(1), 5);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report("constant 1s (paper clusters)", *e);
     std::cout << "      p99.9 = " << e->log().percentile_ms(99.9) << " ms\n";
   }
   {
     auto c = base();
     c.retransmit = net::RetransmitSchedule::exponential(sim::SimTime::seconds(1), 5);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report("exponential 1s,2s,4s,...", *e);
     std::cout << "      p99.9 = " << e->log().percentile_ms(99.9) << " ms\n";
   }
   {
     auto c = base();
     c.retransmit = net::RetransmitSchedule::constant(sim::SimTime::seconds(3), 5);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report("constant 3s (classic BSD)", *e);
     std::cout << "      p99.9 = " << e->log().percentile_ms(99.9) << " ms\n";
   }
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   for (const auto t : {2500, 5000, 10000}) {
     auto c = base();
     c.tomcat_pdflush.flush_interval = sim::SimTime::millis(t);
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report(std::to_string(t) + " ms", *e);
   }
 
@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
   for (const auto mb : {30, 60, 120, 240}) {
     auto c = base();
     c.disk_bytes_per_second = mb * 1024.0 * 1024.0;
-    auto e = run_experiment(std::move(c), false);
+    auto e = run_experiment(opt, std::move(c), false);
     report(std::to_string(mb) + " MB/s", *e);
   }
 

@@ -8,7 +8,9 @@
 //   * optionally dumps raw CSV via --csv DIR, and
 //   * accepts --full to run at the paper's scale (70 000 clients, 180 s).
 
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -16,6 +18,8 @@
 
 #include "experiment/experiment.h"
 #include "experiment/report.h"
+#include "experiment/summary.h"
+#include "obs/trace_io.h"
 
 namespace ntier::bench {
 
@@ -38,6 +42,64 @@ inline std::unique_ptr<Experiment> run_experiment(ExperimentConfig cfg,
     std::cout << "\n-- running " << experiment::describe(cfg) << "\n";
   auto e = std::make_unique<Experiment>(std::move(cfg));
   e->run();
+  return e;
+}
+
+/// Append one JSON result row for a finished run (the contract behind
+/// `scripts/run_all_benches.sh --json`): bench name, run ordinal, the
+/// Table-I style aggregates, the VLRT count, and the wall-clock cost.
+inline void append_json_row(const BenchOptions& opt, Experiment& e,
+                            double wall_ms, int run) {
+  std::ofstream f(opt.json_path, std::ios::app);
+  if (!f) {
+    std::cerr << "  [json] cannot append to " << opt.json_path << "\n";
+    return;
+  }
+  const experiment::RunSummary s = experiment::summarize(e);
+  f << "{\"bench\":\"" << opt.program << "\",\"run\":" << run << ",\"label\":\""
+    << s.label << "\",\"policy\":\"" << s.policy << "\",\"mechanism\":\""
+    << s.mechanism << "\",\"seed\":" << e.config().seed
+    << ",\"completed\":" << s.completed << ",\"dropped\":" << s.dropped
+    << ",\"balancer_errors\":" << s.balancer_errors
+    << ",\"mean_ms\":" << s.mean_rt_ms << ",\"p99_ms\":" << s.p99_ms
+    << ",\"p999_ms\":" << s.p999_ms << ",\"vlrt_count\":" << e.log().vlrt_count()
+    << ",\"vlrt_fraction\":" << s.vlrt_fraction << ",\"wall_ms\":" << wall_ms
+    << "}\n";
+}
+
+/// Trace/JSON-aware variant: enables event tracing when the bench was run
+/// with `--trace FILE` (writing one trace file per run, suffixing `.N` from
+/// the second run on) and appends a JSON result row under `--json FILE`.
+inline std::unique_ptr<Experiment> run_experiment(const BenchOptions& opt,
+                                                  ExperimentConfig cfg,
+                                                  bool announce = true) {
+  static int runs = 0;
+  if (!opt.trace_path.empty()) cfg.event_trace = true;
+  if (announce)
+    std::cout << "\n-- running " << experiment::describe(cfg) << "\n";
+  const auto wall0 = std::chrono::steady_clock::now();
+  auto e = std::make_unique<Experiment>(std::move(cfg));
+  e->run();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall0)
+                             .count();
+  ++runs;
+  if (!opt.trace_path.empty() && e->trace() != nullptr) {
+    std::string path = opt.trace_path;
+    if (runs > 1) path += "." + std::to_string(runs);
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      std::cerr << "  [trace] cannot write " << path << "\n";
+    } else {
+      obs::write_trace(f, *e->trace(), opt.trace_format);
+      std::cout << "  [trace] " << path << " (" << e->trace()->size()
+                << " events";
+      if (e->trace()->dropped() > 0)
+        std::cout << ", " << e->trace()->dropped() << " dropped by ring";
+      std::cout << ")\n";
+    }
+  }
+  if (!opt.json_path.empty()) append_json_row(opt, *e, wall_ms, runs);
   return e;
 }
 
@@ -102,10 +164,19 @@ inline void maybe_csv(const BenchOptions& opt, const std::string& file,
                       SimTime window, const std::vector<std::string>& names,
                       const std::vector<std::vector<double>>& cols) {
   if (opt.csv_dir.empty()) return;
-  std::filesystem::create_directories(opt.csv_dir);
-  const std::string path = opt.csv_dir + "/" + file;
-  experiment::write_series_csv(path, window, names, cols);
-  std::cout << "  [csv] " << path << "\n";
+  static bool warned = false;
+  try {
+    std::filesystem::create_directories(opt.csv_dir);
+    const std::string path = opt.csv_dir + "/" + file;
+    experiment::write_series_csv(path, window, names, cols);
+    std::cout << "  [csv] " << path << "\n";
+  } catch (const std::exception& err) {
+    if (!warned) {
+      std::cerr << "  [csv] cannot write CSV series under --csv dir '"
+                << opt.csv_dir << "': " << err.what() << "\n";
+      warned = true;
+    }
+  }
 }
 
 inline void paper_vs_measured(const std::string& what, const std::string& paper,

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       cfg.bursty_workload = mult > 1.0;
       cfg.burst_multiplier = mult;
       cfg.tracing = false;
-      auto e = run_experiment(std::move(cfg), false);
+      auto e = run_experiment(opt, std::move(cfg), false);
       char label[128];
       std::snprintf(label, sizeof(label), "burst x%.0f / %s+%s", mult,
                     lb::to_string(policy).c_str(), lb::to_string(mech).c_str());

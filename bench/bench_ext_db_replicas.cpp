@@ -31,14 +31,14 @@ int main(int argc, char** argv) {
   auto stock_cfg = base();
   stock_cfg.db_router.policy = PolicyKind::kTotalRequest;
   stock_cfg.db_router.mechanism = MechanismKind::kQueueing;
-  auto stock = run_experiment(std::move(stock_cfg), false);
+  auto stock = run_experiment(opt, std::move(stock_cfg), false);
   std::cout << stock->log().summary_row("DB router: total_request + queueing pool")
             << "\n";
 
   auto aware_cfg = base();
   aware_cfg.db_router.policy = PolicyKind::kCurrentLoad;
   aware_cfg.db_router.mechanism = MechanismKind::kNonBlocking;
-  auto aware = run_experiment(std::move(aware_cfg), false);
+  auto aware = run_experiment(opt, std::move(aware_cfg), false);
   std::cout << aware->log().summary_row("DB router: current_load + fail-fast")
             << "\n";
 

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       cfg.injector = cause.profile;
       cfg.injector.jitter = false;
       cfg.tracing = false;
-      auto e = run_experiment(std::move(cfg), false);
+      auto e = run_experiment(opt, std::move(cfg), false);
       std::cout << e->log().summary_row(
                        experiment::to_string(cause.source) + " / " +
                        lb::to_string(policy) + "+" + lb::to_string(mech))

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       cfg.pdflush_stagger = sim::SimTime::millis(4400 / tomcats);
       cfg.num_clients = cfg.num_clients * tomcats / 4;
       cfg.tracing = false;
-      auto e = run_experiment(std::move(cfg), false);
+      auto e = run_experiment(opt, std::move(cfg), false);
       char label[128];
       std::snprintf(label, sizeof(label), "%dT / %s+%s", tomcats,
                     lb::to_string(policy).c_str(), lb::to_string(mech).c_str());

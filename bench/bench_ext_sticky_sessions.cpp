@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                                           MechanismKind::kNonBlocking);
     cfg.sticky_sessions = v.sticky;
     cfg.balancer.sticky_force = v.force;
-    auto e = run_experiment(std::move(cfg), false);
+    auto e = run_experiment(opt, std::move(cfg), false);
     std::cout << e->log().summary_row(v.label) << "\n";
     const double peak = experiment::max_of(e->tomcat_tier_queue());
     if (!v.sticky) base_queue = peak;

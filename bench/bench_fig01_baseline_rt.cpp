@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   cfg.tomcat_pdflush.dirty_background_bytes = 4'800ull << 20;
   cfg.tomcat_pdflush.flush_interval = sim::SimTime::seconds(600);
   cfg.label = "fig01_baseline";
-  auto e = run_experiment(std::move(cfg));
+  auto e = run_experiment(opt, std::move(cfg));
 
   const auto windows = e->num_metric_windows();
   const auto rt_avg = experiment::series_avg(e->log().response_time_series(), windows);

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig cfg = opt.apply(ExperimentConfig::single_node(0.1));
   cfg.duration = opt.full ? sim::SimTime::seconds(180) : sim::SimTime::seconds(20);
-  auto e = run_experiment(std::move(cfg));
+  auto e = run_experiment(opt, std::move(cfg));
 
   const auto windows = e->num_metric_windows();
   const auto w = e->config().metric_window;

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
 
   for (const auto policy :
        {PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic}) {
-    auto e = run_experiment(
+    auto e = run_experiment(opt,
         cluster_config(opt, policy, MechanismKind::kBlocking));
     const auto w = e->config().metric_window;
     auto rt = experiment::series_avg(e->log().response_time_series(),

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
 
   for (const auto policy :
        {PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic}) {
-    auto e = run_experiment(
+    auto e = run_experiment(opt,
         cluster_config(opt, policy, MechanismKind::kBlocking));
     const auto& h = e->log().histogram();
 

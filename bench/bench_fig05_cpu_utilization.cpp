@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
 
   for (const auto policy :
        {PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic}) {
-    auto e = run_experiment(
+    auto e = run_experiment(opt,
         cluster_config(opt, policy, MechanismKind::kBlocking));
     std::cout << "\n[" << lb::to_string(policy) << "]\n  server        mean CPU%\n";
     double peak = 0;

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(argc, argv);
   header("Figure 6", "VLRT amplification by total_request instability");
 
-  auto e = run_experiment(
+  auto e = run_experiment(opt,
       cluster_config(opt, PolicyKind::kTotalRequest, MechanismKind::kBlocking));
   const auto w = e->config().metric_window;
   const auto windows = e->num_metric_windows();

@@ -12,9 +12,9 @@ int main(int argc, char** argv) {
   header("Figure 8",
          "queues under total_request + modified get_endpoint (vs stock)");
 
-  auto stock = run_experiment(
+  auto stock = run_experiment(opt,
       cluster_config(opt, PolicyKind::kTotalRequest, MechanismKind::kBlocking));
-  auto fixed = run_experiment(cluster_config(opt, PolicyKind::kTotalRequest,
+  auto fixed = run_experiment(opt, cluster_config(opt, PolicyKind::kTotalRequest,
                                              MechanismKind::kNonBlocking));
 
   const auto w = fixed->config().metric_window;

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   header("Figure 9",
          "workload distribution under total_request + modified get_endpoint");
 
-  auto e = run_experiment(cluster_config(opt, PolicyKind::kTotalRequest,
+  auto e = run_experiment(opt, cluster_config(opt, PolicyKind::kTotalRequest,
                                          MechanismKind::kNonBlocking));
   const auto w = e->config().metric_window;
 

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(argc, argv);
   header("Figure 10", "lb_value traces under total_request");
 
-  auto e = run_experiment(
+  auto e = run_experiment(opt,
       cluster_config(opt, PolicyKind::kTotalRequest, MechanismKind::kBlocking));
   const auto w = e->config().metric_window;
 

@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(argc, argv);
   header("Figure 11", "lb_value traces under total_traffic");
 
-  auto e = run_experiment(
+  auto e = run_experiment(opt,
       cluster_config(opt, PolicyKind::kTotalTraffic, MechanismKind::kBlocking));
   const auto w = e->config().metric_window;
 

@@ -12,9 +12,9 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(argc, argv);
   header("Figure 12", "queues under the current_load policy");
 
-  auto stock = run_experiment(
+  auto stock = run_experiment(opt,
       cluster_config(opt, PolicyKind::kTotalRequest, MechanismKind::kBlocking));
-  auto remedy = run_experiment(
+  auto remedy = run_experiment(opt,
       cluster_config(opt, PolicyKind::kCurrentLoad, MechanismKind::kBlocking));
 
   const auto w = remedy->config().metric_window;

@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(argc, argv);
   header("Figure 13", "workload distribution under current_load");
 
-  auto e = run_experiment(
+  auto e = run_experiment(opt,
       cluster_config(opt, PolicyKind::kCurrentLoad, MechanismKind::kBlocking));
   const auto w = e->config().metric_window;
 

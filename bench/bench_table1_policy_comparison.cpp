@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg = cluster_config(opt, row.policy, row.mech);
     cfg.tracing = false;  // fastest path; Table I needs only the request log
     cfg.label = row.label;
-    auto e = run_experiment(std::move(cfg), /*announce=*/false);
+    auto e = run_experiment(opt, std::move(cfg), /*announce=*/false);
     std::cout << e->log().summary_row(row.label) << "\n";
     if (std::string(row.label) == "Original total_request")
       stock_rt = e->log().mean_response_ms();

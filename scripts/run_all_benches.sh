@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Run every reproduction/ablation/extension bench and collect the output.
 #
-#   scripts/run_all_benches.sh [--full] [output-file]
+#   scripts/run_all_benches.sh [--full] [--json] [output-file]
 #
 # --full runs the paper-scale (70 000 clients, 180 s) configurations.
+# --json additionally collects one JSON result row per experiment run
+#        (mean/P99/P99.9 response time, VLRT counts, wall-clock) into
+#        BENCH_results.json — each bench appends rows via its --json flag.
 #
 # See also scripts/run_sanitized_tests.sh, which rebuilds the tree with
 # -DNTIER_SANITIZE=address,undefined and runs the test suite (including the
@@ -12,10 +15,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 FLAG=""
+JSON=0
 OUT="bench_output.txt"
 for arg in "$@"; do
   case "$arg" in
     --full) FLAG="--full" ;;
+    --json) JSON=1 ;;
     *) OUT="$arg" ;;
   esac
 done
@@ -25,15 +30,34 @@ if [ ! -d build/bench ]; then
   exit 1
 fi
 
+ROWS=""
+if [ "$JSON" = 1 ]; then
+  ROWS="$(mktemp)"
+  trap 'rm -f "$ROWS"' EXIT
+fi
+
 : > "$OUT"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $(basename "$b") $FLAG" | tee -a "$OUT"
   if [[ "$(basename "$b")" == bench_micro_kernel ]]; then
     "$b" --benchmark_min_time=0.2 2>&1 | tee -a "$OUT"
+  elif [ "$JSON" = 1 ]; then
+    "$b" $FLAG --json "$ROWS" 2>&1 | tee -a "$OUT"
   else
     "$b" $FLAG 2>&1 | tee -a "$OUT"
   fi
   echo | tee -a "$OUT"
 done
 echo "wrote $OUT"
+
+if [ "$JSON" = 1 ]; then
+  # Assemble the per-run rows (one JSON object per line) into one document.
+  {
+    printf '{"generated_by":"scripts/run_all_benches.sh","full":%s,"results":[\n' \
+      "$([ -n "$FLAG" ] && echo true || echo false)"
+    sed '$!s/$/,/' "$ROWS"
+    printf ']}\n'
+  } > BENCH_results.json
+  echo "wrote BENCH_results.json ($(wc -l < "$ROWS") result rows)"
+fi

@@ -102,6 +102,11 @@ traces
   --record-trace FILE    save the run's arrival trace (CSV)
   --replay-trace FILE    drive the run open-loop from a saved trace
                          (replaces the closed-loop clients)
+  --trace FILE           write the cross-tier event trace (client sends,
+                         SYN retransmits, backlog drops, get_endpoint
+                         polling, backend service, pdflush episodes, ...)
+  --trace-format F       jsonl (default; ntier_trace's input) | chrome
+                         (Perfetto / chrome://tracing)
 
 output
   --json FILE            write the run summary as JSON
@@ -211,6 +216,14 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.chaos_seed = static_cast<std::uint64_t>(n);
     } else if (a == "--resilience") {
       o.resilience = true;
+    } else if (a == "--trace") {
+      if (!value(o.trace_path)) return fail("missing --trace value");
+      o.config.event_trace = true;
+    } else if (a == "--trace-format") {
+      if (!value(v)) return fail("missing --trace-format value");
+      const auto f = obs::parse_trace_format(v);
+      if (!f) return fail("unknown trace format: " + v);
+      o.trace_format = *f;
     } else if (a == "--record-trace") {
       if (!value(o.record_trace_path)) return fail("missing --record-trace value");
     } else if (a == "--replay-trace") {
@@ -355,6 +368,26 @@ int run_cli(const CliOptions& options) {
       std::cout << "recorded " << recorded.size() << " arrivals to "
                 << options.record_trace_path << "\n";
   }
+  if (!options.trace_path.empty()) {
+    if (!e.trace()) {
+      std::cerr << "internal: event trace was not collected\n";
+      return 1;
+    }
+    std::ofstream f(options.trace_path);
+    if (!f) {
+      std::cerr << "cannot write " << options.trace_path << "\n";
+      return 1;
+    }
+    obs::write_trace(f, *e.trace(), options.trace_format);
+    if (!options.quiet) {
+      std::cout << "wrote " << e.trace()->size() << " trace events to "
+                << options.trace_path;
+      if (e.trace()->dropped())
+        std::cout << " (ring overwrote " << e.trace()->dropped()
+                  << " oldest events; raise trace capacity)";
+      std::cout << "\n";
+    }
+  }
   if (!options.json_path.empty()) {
     std::ofstream f(options.json_path);
     if (!f) {
@@ -364,15 +397,21 @@ int run_cli(const CliOptions& options) {
     summary.to_json(f);
   }
   if (!options.csv_dir.empty()) {
-    std::filesystem::create_directories(options.csv_dir);
-    experiment::write_series_csv(
-        options.csv_dir + "/tier_queues.csv", e.config().metric_window,
-        {"apache", "tomcat", "mysql"},
-        {e.apache_tier_queue(), e.tomcat_tier_queue(), e.mysql_tier_queue()});
-    experiment::write_series_csv(
-        options.csv_dir + "/vlrt.csv", e.config().metric_window, {"vlrt"},
-        {experiment::series_count(e.log().vlrt_series(),
-                                  e.num_metric_windows())});
+    try {
+      std::filesystem::create_directories(options.csv_dir);
+      experiment::write_series_csv(
+          options.csv_dir + "/tier_queues.csv", e.config().metric_window,
+          {"apache", "tomcat", "mysql"},
+          {e.apache_tier_queue(), e.tomcat_tier_queue(), e.mysql_tier_queue()});
+      experiment::write_series_csv(
+          options.csv_dir + "/vlrt.csv", e.config().metric_window, {"vlrt"},
+          {experiment::series_count(e.log().vlrt_series(),
+                                    e.num_metric_windows())});
+    } catch (const std::exception& err) {
+      std::cerr << "cannot write CSV series under --csv dir '"
+                << options.csv_dir << "': " << err.what() << "\n";
+      return 1;
+    }
   }
   return 0;
 }

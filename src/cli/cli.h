@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "experiment/config.h"
+#include "obs/trace_io.h"
 
 namespace ntier::cli {
 
@@ -15,6 +16,8 @@ struct CliOptions {
   std::string csv_dir;     // dump tier queue series here when non-empty
   std::string record_trace_path;  // save the arrival trace of the run
   std::string replay_trace_path;  // drive the run from a saved trace
+  std::string trace_path;  // write the cross-tier event trace here
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
   bool chaos = false;             // inject a seeded randomized fault schedule
   std::uint64_t chaos_seed = 1;
   bool resilience = false;        // prober + breaker + budgeted retries

@@ -120,6 +120,13 @@ struct ExperimentConfig {
   bool tracing = true;
   /// Keep every RequestRecord (needed only when dumping raw CSV).
   bool keep_records = false;
+  /// Enable the cross-tier event trace (src/obs): every tier emits its
+  /// fixed-vocabulary events into one ring buffer, exportable as JSONL or
+  /// Chrome trace-event JSON and consumable by the CausalChainAnalyzer.
+  bool event_trace = false;
+  /// Event-trace ring capacity (events; ~48 B each). The oldest events are
+  /// overwritten once full.
+  std::size_t trace_capacity = 4u << 20;
 
   /// Offered load in requests/second (clients / think time).
   double offered_rps() const {

@@ -35,6 +35,10 @@ std::unique_ptr<os::Node> Experiment::make_node(const std::string& name,
 }
 
 void Experiment::build() {
+  if (config_.event_trace)
+    trace_ = std::make_unique<obs::TraceCollector>(
+        obs::TraceConfig{config_.trace_capacity});
+
   // -- nodes -------------------------------------------------------------------
   for (int i = 0; i < config_.num_apaches; ++i)
     apache_nodes_.push_back(make_node("apache" + std::to_string(i + 1),
@@ -64,7 +68,19 @@ void Experiment::build() {
       injectors_.push_back(std::make_unique<millib::CapacityStallInjector>(
           sim_, tomcat_nodes_[static_cast<std::size_t>(i)]->cpu(), ic,
           to_string(config_.tomcat_stall_source)));
+      injectors_.back()->set_trace(trace_.get(), obs::Tier::kTomcat, i);
     }
+  }
+  if (trace_) {
+    for (int i = 0; i < config_.num_apaches; ++i)
+      apache_nodes_[static_cast<std::size_t>(i)]->pdflush().set_trace(
+          trace_.get(), obs::Tier::kApache, i);
+    for (int i = 0; i < config_.num_tomcats; ++i)
+      tomcat_nodes_[static_cast<std::size_t>(i)]->pdflush().set_trace(
+          trace_.get(), obs::Tier::kTomcat, i);
+    for (int i = 0; i < config_.num_mysql; ++i)
+      mysql_nodes_[static_cast<std::size_t>(i)]->pdflush().set_trace(
+          trace_.get(), obs::Tier::kMysql, i);
   }
 
   // -- servers -----------------------------------------------------------------
@@ -101,8 +117,11 @@ void Experiment::build() {
         lb::make_acquirer(config_.mechanism, bc.blocking), bc, ac,
         config_.metric_window);
     if (config_.tracing) apache->balancer().enable_tracing(config_.metric_window);
+    if (trace_) apache->set_trace(trace_.get());
     apaches_.push_back(std::move(apache));
   }
+  if (trace_)
+    for (auto& t : tomcats_) t->set_trace(trace_.get());
 
   // -- clients -----------------------------------------------------------------
   workload::ClientParams cp;
@@ -119,6 +138,7 @@ void Experiment::build() {
   for (auto& a : apaches_) fes.push_back(a.get());
   clients_ = std::make_unique<workload::ClientPopulation>(sim_, cp, workload_,
                                                           fes, log_);
+  if (trace_) clients_->set_trace(trace_.get());
 
   // -- chaos -------------------------------------------------------------------
   if (!config_.fault_plan.empty()) {
@@ -132,19 +152,47 @@ void Experiment::build() {
       apache_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
           sim_, config_.metric_window,
           [node = n.get()] { return node->cpu().probe_utilisation().combined(); }));
-    for (auto& n : tomcat_nodes_) {
+    for (auto& n : tomcat_nodes_)
       tomcat_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
           sim_, config_.metric_window,
           [node = n.get()] { return node->cpu().probe_utilisation().combined(); }));
-      tomcat_iowait_.push_back(std::make_unique<metrics::PeriodicSampler>(
-          sim_, config_.metric_window,
-          [node = n.get()] { return node->disk().probe_busy_fraction(); }));
-    }
     for (auto& n : mysql_nodes_)
       mysql_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
           sim_, config_.metric_window, [node = n.get()] {
             return node->cpu().probe_utilisation().combined();
           }));
+  }
+  // iowait sampling doubles as the trace's kIoWait signal, so the samplers
+  // exist whenever either consumer is on.
+  if (config_.tracing || trace_) {
+    for (int i = 0; i < config_.num_tomcats; ++i) {
+      auto* node = tomcat_nodes_[static_cast<std::size_t>(i)].get();
+      tomcat_iowait_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window, [this, node, i] {
+            const double v = node->disk().probe_busy_fraction();
+            NTIER_TRACE_EVENT(trace_.get(), sim_.now(),
+                              obs::EventKind::kIoWait, obs::Tier::kTomcat, i,
+                              -1, 0, v);
+            return v;
+          }));
+    }
+  }
+  if (trace_) {
+    auto emit_iowait = [this](os::Node* node, obs::Tier tier, int i) {
+      trace_iowait_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window, [this, node, tier, i] {
+            const double v = node->disk().probe_busy_fraction();
+            NTIER_TRACE_EVENT(trace_.get(), sim_.now(),
+                              obs::EventKind::kIoWait, tier, i, -1, 0, v);
+            return v;
+          }));
+    };
+    for (int i = 0; i < config_.num_apaches; ++i)
+      emit_iowait(apache_nodes_[static_cast<std::size_t>(i)].get(),
+                  obs::Tier::kApache, i);
+    for (int i = 0; i < config_.num_mysql; ++i)
+      emit_iowait(mysql_nodes_[static_cast<std::size_t>(i)].get(),
+                  obs::Tier::kMysql, i);
   }
 }
 

@@ -9,6 +9,7 @@
 #include "metrics/request_log.h"
 #include "metrics/sampler.h"
 #include "millib/injector.h"
+#include "obs/trace.h"
 #include "os/node.h"
 #include "server/apache_server.h"
 #include "server/db_router.h"
@@ -57,6 +58,9 @@ class Experiment {
   }
   /// Null unless config.fault_plan is non-empty.
   const ChaosController* chaos() const { return chaos_.get(); }
+  /// The cross-tier event collector; null unless config.event_trace.
+  obs::TraceCollector* trace() { return trace_.get(); }
+  const obs::TraceCollector* trace() const { return trace_.get(); }
   os::Node& apache_node(int i) { return *apache_nodes_[static_cast<std::size_t>(i)]; }
   os::Node& tomcat_node(int i) { return *tomcat_nodes_[static_cast<std::size_t>(i)]; }
   os::Node& mysql_node(int i = 0) { return *mysql_nodes_[static_cast<std::size_t>(i)]; }
@@ -123,11 +127,15 @@ class Experiment {
   std::vector<std::unique_ptr<millib::CapacityStallInjector>> injectors_;
   std::unique_ptr<workload::ClientPopulation> clients_;
   std::unique_ptr<ChaosController> chaos_;
+  std::unique_ptr<obs::TraceCollector> trace_;
 
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> apache_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_iowait_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> mysql_cpu_;
+  /// Emit-only iowait samplers for the non-Tomcat nodes, feeding kIoWait
+  /// events into the trace (no series is read back from them).
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> trace_iowait_;
   bool ran_ = false;
 };
 

@@ -107,6 +107,11 @@ void write_series_csv(const std::string& path, sim::SimTime window,
 
 BenchOptions BenchOptions::parse(int argc, char** argv) {
   BenchOptions o;
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string prog = argv[0];
+    const auto slash = prog.find_last_of('/');
+    o.program = slash == std::string::npos ? prog : prog.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       o.full = true;
@@ -114,6 +119,12 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       o.csv_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       o.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      o.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-format") == 0 && i + 1 < argc) {
+      if (auto f = obs::parse_trace_format(argv[++i])) o.trace_format = *f;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      o.json_path = argv[++i];
     }
   }
   return o;

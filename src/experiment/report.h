@@ -6,6 +6,7 @@
 
 #include "experiment/experiment.h"
 #include "metrics/time_series.h"
+#include "obs/trace_io.h"
 
 namespace ntier::experiment {
 
@@ -38,11 +39,18 @@ void write_series_csv(const std::string& path, sim::SimTime window,
                       const std::vector<std::vector<double>>& columns);
 
 /// Shared bench command line: `--full` switches to paper scale, `--csv DIR`
-/// writes raw series, `--seed N` overrides the seed.
+/// writes raw series, `--seed N` overrides the seed, `--trace FILE` captures
+/// the cross-tier event trace of each run (2nd+ runs get a `.N` suffix),
+/// `--trace-format jsonl|chrome` picks the serialisation, and `--json FILE`
+/// appends one JSON result row per run (for scripts/run_all_benches.sh).
 struct BenchOptions {
   bool full = false;
   std::string csv_dir;
   std::uint64_t seed = 42;
+  std::string program;     // argv[0] basename, stamped into JSON rows
+  std::string trace_path;  // write each run's event trace here
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+  std::string json_path;   // append per-run JSON result rows here
   static BenchOptions parse(int argc, char** argv);
   /// Apply scale/seed to a config produced by a preset.
   ExperimentConfig apply(ExperimentConfig base) const;

@@ -23,6 +23,7 @@ struct PollState {
   BlockingAcquirer::Params params;
   std::function<void(bool)> done;
   sim::SimTime waited;
+  EndpointAcquirer::TraceContext trace;
 };
 
 // Exact Algorithm-1 sequencing: a failed check is always followed by a
@@ -36,6 +37,13 @@ void poll_step(const std::shared_ptr<PollState>& st) {
     st->done(true);
     return;
   }
+  // The initial failed check is covered by the balancer's attempt event;
+  // wake-up re-checks are the 100 ms sleeps the worker thread spends parked.
+  if (st->waited > sim::SimTime::zero())
+    NTIER_TRACE_EVENT(st->trace.trace, st->simu.now(),
+                      obs::EventKind::kGetEndpointPoll, obs::Tier::kBalancer,
+                      st->trace.node, st->trace.worker, st->trace.request,
+                      st->waited.to_millis());
   st->waited += st->params.sleep_interval;
   st->simu.after(st->params.sleep_interval, [st] {
     if (st->waited >= st->params.acquire_timeout)
@@ -51,8 +59,8 @@ void BlockingAcquirer::acquire(sim::Simulation& simu, EndpointPool& pool,
                                const WorkerRecord& rec,
                                std::function<void(bool)> done) {
   (void)rec;
-  poll_step(std::make_shared<PollState>(
-      PollState{simu, pool, params_, std::move(done), sim::SimTime::zero()}));
+  poll_step(std::make_shared<PollState>(PollState{
+      simu, pool, params_, std::move(done), sim::SimTime::zero(), trace_ctx_}));
 }
 
 void NonBlockingAcquirer::acquire(sim::Simulation&, EndpointPool& pool,

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "lb/worker_record.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -141,6 +142,21 @@ class EndpointAcquirer {
   virtual MechanismKind kind() const = 0;
   std::string name() const { return to_string(kind()); }
 
+  /// Observability context for the *next* acquire call: which request is
+  /// hunting which worker's pool on behalf of which balancer. Set by the
+  /// LoadBalancer immediately before each acquire (the call entry is
+  /// synchronous, so implementations copy it into their own state); a null
+  /// collector disables emission. Lets the stock blocking implementation
+  /// report each Algorithm-1 poll wake-up as a get_endpoint_poll event.
+  struct TraceContext {
+    obs::TraceCollector* trace = nullptr;
+    int node = -1;    // owning balancer's Apache id
+    int worker = -1;  // candidate Tomcat index
+    std::uint64_t request = 0;
+  };
+  void set_trace_context(const TraceContext& ctx) { trace_ctx_ = ctx; }
+  const TraceContext& trace_context() const { return trace_ctx_; }
+
   /// Try to acquire a slot in `pool`; invoke `done(true)` once acquired or
   /// `done(false)` when the mechanism gives up. Implementations must not
   /// mutate `rec` — state transitions on failure belong to the balancer —
@@ -148,6 +164,9 @@ class EndpointAcquirer {
   virtual void acquire(sim::Simulation& simu, EndpointPool& pool,
                        const WorkerRecord& rec,
                        std::function<void(bool)> done) = 0;
+
+ protected:
+  TraceContext trace_ctx_;
 };
 
 /// Stock mod_jk behaviour (Algorithm 1): check for a free endpoint, and if

@@ -73,7 +73,18 @@ void LoadBalancer::finish_traces() {
   for (auto& g : committed_traces_) g.finish(sim_.now());
 }
 
+void LoadBalancer::trace_event([[maybe_unused]] obs::EventKind kind,
+                               [[maybe_unused]] int worker,
+                               [[maybe_unused]] std::uint64_t request,
+                               [[maybe_unused]] double value,
+                               [[maybe_unused]] std::int32_t aux) {
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), kind, obs::Tier::kBalancer,
+                    trace_node_, worker, request, value, aux);
+}
+
 void LoadBalancer::trace_lb_value(int idx) {
+  trace_event(obs::EventKind::kLbValue, idx, 0,
+              records_[static_cast<std::size_t>(idx)].lb_value);
   if (lb_value_traces_.empty()) return;
   lb_value_traces_[static_cast<std::size_t>(idx)].set(
       sim_.now(), records_[static_cast<std::size_t>(idx)].lb_value);
@@ -121,6 +132,8 @@ void LoadBalancer::mark_failure(WorkerRecord& rec) {
     rec.breaker_open = true;
     rec.breaker_until = sim_.now() + config_.breaker.open_duration;
     ++rec.breaker_trips;
+    trace_event(obs::EventKind::kBreakerState, rec.tomcat_id, 0, 1.0,
+                /*aux=*/1);  // re-opened from half-open
   }
   // Concurrent waiters that started polling before the worker was sidelined
   // all fail around the same instant; only the first of them escalates the
@@ -158,8 +171,16 @@ void LoadBalancer::try_next(const std::shared_ptr<AssignContext>& ctx) {
     std::vector<int> eligible_idx;
     eligible_idx.reserve(records_.size());
     for (std::size_t i = 0; i < records_.size(); ++i) {
-      if (!ctx->attempted[i] && eligible(records_[i]))
+      if (ctx->attempted[i]) continue;
+      auto& rec = records_[i];
+      if (eligible(rec)) {
         eligible_idx.push_back(static_cast<int>(i));
+      } else {
+        // aux encodes why: 1 = Busy, 2 = Error, 3 = breaker open.
+        trace_event(obs::EventKind::kGetEndpointSkip, static_cast<int>(i),
+                    ctx->req->id, rec.lb_value,
+                    rec.breaker_open ? 3 : static_cast<std::int32_t>(rec.state));
+      }
     }
     idx = eligible_idx.empty() ? -1
                                : policy_->pick(records_, eligible_idx, rng_);
@@ -176,14 +197,26 @@ void LoadBalancer::try_next(const std::shared_ptr<AssignContext>& ctx) {
   // spends 300 ms polling, the paper's per-Tomcat queue accounting counts it
   // against this backend.
   set_committed(idx, +1);
+  trace_event(obs::EventKind::kGetEndpointAttempt, idx, ctx->req->id,
+              static_cast<double>(pools_[static_cast<std::size_t>(idx)].in_use()));
+  acquirer_->set_trace_context(
+      {trace_events_, trace_node_, idx, ctx->req->id});
 
   acquirer_->acquire(
       sim_, pools_[static_cast<std::size_t>(idx)], rec,
       [this, ctx, idx](bool ok) {
         auto& r = records_[static_cast<std::size_t>(idx)];
         if (ok) {
+          trace_event(
+              obs::EventKind::kEndpointAcquire, idx, ctx->req->id,
+              static_cast<double>(pools_[static_cast<std::size_t>(idx)].in_use()));
           r.consecutive_failures = 0;
-          if (r.half_open_left > 0) --r.half_open_left;
+          if (r.half_open_left > 0) {
+            --r.half_open_left;
+            // Trial quota spent without a failure: the breaker closes.
+            if (r.half_open_left == 0)
+              trace_event(obs::EventKind::kBreakerState, idx, ctx->req->id, 0.0);
+          }
           ++r.assigned;
           ++r.outstanding;
           policy_->on_assigned(r, *ctx->req);  // Algorithm 2/4 increment point
@@ -195,6 +228,9 @@ void LoadBalancer::try_next(const std::shared_ptr<AssignContext>& ctx) {
           // index means (tomcat, DB replica, ...) is the caller's business.
           ctx->done(idx);
         } else {
+          trace_event(
+              obs::EventKind::kGetEndpointTimeout, idx, ctx->req->id,
+              static_cast<double>(pools_[static_cast<std::size_t>(idx)].in_use()));
           mark_failure(r);
           set_committed(idx, -1);
           try_next(ctx);
@@ -234,6 +270,7 @@ void LoadBalancer::report_probe(int idx, bool ok, sim::SimTime rtt) {
       rec.state = WorkerState::kAvailable;
       rec.consecutive_failures = 0;
       rec.health = std::max(rec.health, config_.breaker.trip_threshold);
+      trace_event(obs::EventKind::kBreakerState, idx, 0, 2.0);  // half-open
     } else if (!ok) {
       rec.breaker_until = sim_.now() + config_.breaker.open_duration;
     }
@@ -244,6 +281,7 @@ void LoadBalancer::report_probe(int idx, bool ok, sim::SimTime rtt) {
     rec.breaker_until = sim_.now() + config_.breaker.open_duration;
     rec.half_open_left = 0;
     ++rec.breaker_trips;
+    trace_event(obs::EventKind::kBreakerState, idx, 0, 1.0);  // open
   }
 }
 
@@ -256,6 +294,8 @@ std::uint64_t LoadBalancer::breaker_trips() const {
 void LoadBalancer::on_response(int idx, const proto::RequestPtr& req) {
   auto& rec = records_[static_cast<std::size_t>(idx)];
   pools_[static_cast<std::size_t>(idx)].release();
+  trace_event(obs::EventKind::kEndpointRelease, idx, req->id,
+              static_cast<double>(pools_[static_cast<std::size_t>(idx)].in_use()));
   assert(rec.outstanding > 0);
   --rec.outstanding;
   ++rec.completed;

@@ -11,6 +11,7 @@
 #include "lb/policy.h"
 #include "lb/worker_record.h"
 #include "metrics/time_series.h"
+#include "obs/trace.h"
 #include "proto/request.h"
 #include "sim/simulation.h"
 
@@ -128,6 +129,15 @@ class LoadBalancer {
   /// before traffic flows.
   void enable_tracing(sim::SimTime window);
   bool tracing() const { return !lb_value_traces_.empty(); }
+
+  /// Attach the cross-tier event collector (null disables). Balancer events
+  /// are emitted with tier=kBalancer, node=`apache_id`, worker=candidate
+  /// index: get_endpoint attempt/poll/timeout/skip, endpoint acquire/release,
+  /// lb_value updates and breaker transitions.
+  void set_trace(obs::TraceCollector* trace, int apache_id) {
+    trace_events_ = trace;
+    trace_node_ = apache_id;
+  }
   const metrics::GaugeSeries& lb_value_trace(int idx) const {
     return lb_value_traces_[static_cast<std::size_t>(idx)];
   }
@@ -146,6 +156,8 @@ class LoadBalancer {
   bool eligible(WorkerRecord& rec);
   void arm_decay();
   void mark_failure(WorkerRecord& rec);
+  void trace_event(obs::EventKind kind, int worker, std::uint64_t request,
+                   double value = 0.0, std::int32_t aux = 0);
   void try_next(const std::shared_ptr<AssignContext>& ctx);
   void set_committed(int idx, int delta);
   void trace_lb_value(int idx);
@@ -159,6 +171,8 @@ class LoadBalancer {
   sim::Rng rng_;
   std::uint64_t balancer_errors_ = 0;
   std::uint64_t sticky_hits_ = 0;
+  obs::TraceCollector* trace_events_ = nullptr;
+  int trace_node_ = -1;
 
   std::vector<metrics::GaugeSeries> lb_value_traces_;
   std::vector<metrics::GaugeSeries> committed_traces_;

@@ -22,7 +22,27 @@ LatencyBreakdown::LatencyBreakdown() {
                         /*buckets_per_decade=*/20);
 }
 
+LatencyBreakdown::Segment LatencyBreakdown::furthest_segment(
+    const RequestRecord& rec) {
+  if (rec.accepted_at.ns() == 0) return kConnect;
+  if (rec.assigned_at.ns() == 0) return kBalancing;
+  if (rec.backend_done_at.ns() == 0) return kBackend;
+  return kReply;
+}
+
 void LatencyBreakdown::add(const RequestRecord& rec) {
+  if (rec.outcome == RequestOutcome::kDropped) {
+    ++dropped_;
+    ++dropped_in_[static_cast<std::size_t>(furthest_segment(rec))];
+    ++skipped_;
+    return;
+  }
+  if (rec.outcome == RequestOutcome::kBalancerError) {
+    ++balancer_errors_;
+    ++errored_in_[static_cast<std::size_t>(furthest_segment(rec))];
+    ++skipped_;
+    return;
+  }
   // Only completed requests that traversed the full path decompose cleanly.
   if (rec.outcome != RequestOutcome::kOk || rec.accepted_at < rec.start ||
       rec.assigned_at < rec.accepted_at ||
@@ -61,6 +81,20 @@ void LatencyBreakdown::print(std::ostream& os) const {
        << std::fixed << std::setprecision(3) << std::setw(12) << mean_ms(seg)
        << std::setw(12) << p99_ms(seg) << std::setw(9) << std::setprecision(1)
        << 100 * share(seg) << "%" << "\n";
+  }
+  if (dropped_ > 0 || balancer_errors_ > 0) {
+    os << "  failed before completion: " << dropped_ << " dropped, "
+       << balancer_errors_ << " balancer errors\n";
+    for (int s = 0; s < kNumSegments; ++s) {
+      const auto seg = static_cast<Segment>(s);
+      if (dropped_in(seg) == 0 && errored_in(seg) == 0) continue;
+      os << "    died in " << std::left << std::setw(30) << segment_name(seg)
+         << std::right;
+      if (dropped_in(seg) > 0) os << " " << dropped_in(seg) << " dropped";
+      if (errored_in(seg) > 0)
+        os << " " << errored_in(seg) << " balancer errors";
+      os << "\n";
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -29,12 +30,28 @@ class LatencyBreakdown {
 
   LatencyBreakdown();
 
-  /// Digest a completed-OK record (others are skipped and counted).
+  /// Digest a completed-OK record. Dropped and balancer-error records are
+  /// not decomposed (they never traversed the full path) but are tallied
+  /// against the furthest segment they reached, so the table can show
+  /// *where* requests die, not just that they did.
   void add(const RequestRecord& rec);
   void add_all(const std::vector<RequestRecord>& records);
 
+  /// The furthest segment a record got into before its life ended (the
+  /// first hop whose completion timestamp was never stamped).
+  static Segment furthest_segment(const RequestRecord& rec);
+
   std::int64_t requests() const { return requests_; }
   std::int64_t skipped() const { return skipped_; }
+  std::int64_t dropped() const { return dropped_; }
+  std::int64_t balancer_errors() const { return balancer_errors_; }
+  /// Dropped / balancer-error requests whose life ended inside segment `s`.
+  std::int64_t dropped_in(Segment s) const {
+    return dropped_in_[static_cast<std::size_t>(s)];
+  }
+  std::int64_t errored_in(Segment s) const {
+    return errored_in_[static_cast<std::size_t>(s)];
+  }
 
   double mean_ms(Segment s) const { return hist(s).mean(); }
   double p99_ms(Segment s) const { return hist(s).percentile(99); }
@@ -51,6 +68,10 @@ class LatencyBreakdown {
   std::vector<LatencyHistogram> hists_;
   std::int64_t requests_ = 0;
   std::int64_t skipped_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t balancer_errors_ = 0;
+  std::array<std::int64_t, kNumSegments> dropped_in_{};
+  std::array<std::int64_t, kNumSegments> errored_in_{};
 };
 
 }  // namespace ntier::metrics

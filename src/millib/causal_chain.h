@@ -1,0 +1,139 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "millib/detector.h"
+#include "obs/trace.h"
+#include "sim/time.h"
+
+namespace ntier::millib {
+
+/// Offline reconstruction of the paper's causal chain from a cross-tier
+/// event trace (obs::TraceCollector output):
+///
+///   pdflush writeback → iowait spike → stalled (frozen) lb_value →
+///   committed-queue spike → retransmission-offset VLRT cluster
+///
+/// The analyzer needs nothing but the trace: per-Tomcat committed queues are
+/// rebuilt from get_endpoint_attempt / get_endpoint_timeout /
+/// endpoint_release deltas and fed to the same MillibottleneckDetector the
+/// online pipeline uses, iowait comes from the periodic kIoWait samples, and
+/// lb_value freezes are gaps in the kLbValue update stream.
+struct CausalChainConfig {
+  /// Window width for the reconstructed committed-queue gauges (the paper's
+  /// 50 ms fine-grained monitoring granularity).
+  sim::SimTime window = sim::SimTime::millis(50);
+  /// Spike detection over the reconstructed queues.
+  DetectorConfig detector;
+  /// Temporal slack when joining links to an OS episode: effects may lead
+  /// the episode's bookkeeping slightly (threshold-triggered flushes) and
+  /// trail it (queues drain after the stall lifts).
+  sim::SimTime slack = sim::SimTime::millis(150);
+  /// An iowait sample at or above this fraction counts as an iowait spike.
+  double iowait_threshold = 0.5;
+  /// A gap this long between consecutive lb_value updates for a worker,
+  /// overlapping the episode, counts as a frozen lb_value (nothing
+  /// completed, so the ranking the policy acts on is stale).
+  sim::SimTime lb_freeze_min = sim::SimTime::millis(100);
+  /// VLRT definition (paper: response time > 1 s).
+  double vlrt_threshold_ms = 1000.0;
+};
+
+/// One reconstructed hop of the chain, relative to its OS episode.
+struct ChainLink {
+  bool present = false;
+  /// Onset lag from the episode start (negative = led the episode).
+  double lag_ms = 0.0;
+  /// Link-specific magnitude: peak iowait fraction, freeze-gap ms, queue
+  /// peak, or retransmission count.
+  double magnitude = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// One OS-level episode (pdflush writeback or injected capacity stall) with
+/// the downstream links the analyzer managed to join to it.
+struct EpisodeChain {
+  obs::Tier tier = obs::Tier::kTomcat;
+  int node = -1;
+  /// True for injected capacity stalls (stall_start/stall_stop), false for
+  /// organic pdflush episodes.
+  bool synthetic = false;
+  sim::SimTime start;
+  sim::SimTime end;
+  /// Dirty bytes written back (pdflush) or severity (synthetic stall).
+  double magnitude = 0.0;
+
+  ChainLink iowait;
+  ChainLink frozen_lb;
+  ChainLink queue_spike;
+  ChainLink retransmits;
+  /// VLRT requests attributed to this episode (filled by the analyzer).
+  std::uint64_t vlrts = 0;
+
+  /// The full paper chain: iowait + frozen lb_value + queue spike +
+  /// retransmission cluster. Synthetic stalls have no writeback, so the
+  /// iowait link is not required of them.
+  bool full_chain() const {
+    return (iowait.present || synthetic) && frozen_lb.present &&
+           queue_spike.present && retransmits.present;
+  }
+};
+
+/// Which per-request segment dominated a VLRT's latency.
+enum class Hop : std::uint8_t {
+  kConnect,    // client_send → worker_pickup (drops + backlog time)
+  kBalancing,  // worker_pickup → endpoint_acquire (get_endpoint polling)
+  kBackend,    // endpoint_acquire → endpoint_release (queue + service)
+  kReply,      // endpoint_release → client_done
+};
+
+const char* to_string(Hop h);
+
+struct VlrtAttribution {
+  std::uint64_t request = 0;
+  double response_ms = 0.0;
+  /// Index into CausalChainReport::chains, -1 when unexplained.
+  int episode = -1;
+  Hop dominant = Hop::kConnect;
+  /// Per-hop milliseconds, indexed by Hop.
+  std::array<double, 4> hop_ms{};
+  std::uint32_t retransmissions = 0;
+  std::int32_t tomcat = -1;
+};
+
+struct CausalChainReport {
+  std::vector<EpisodeChain> chains;
+  std::vector<VlrtAttribution> vlrt;
+  /// Events inspected / per-request joins, for sanity output.
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+
+  std::uint64_t full_chains() const;
+  std::uint64_t attributed() const;
+  /// Fraction of VLRT requests attributed to a detected episode (0 when the
+  /// trace holds no VLRTs).
+  double coverage() const;
+
+  void print(std::ostream& os) const;
+  void to_json(std::ostream& os) const;
+};
+
+/// Joins a chronological event trace into per-episode causal chains and
+/// per-VLRT attributions.
+class CausalChainAnalyzer {
+ public:
+  explicit CausalChainAnalyzer(CausalChainConfig config = {})
+      : config_(config) {}
+
+  CausalChainReport analyze(const std::vector<obs::TraceEvent>& events) const;
+
+  const CausalChainConfig& config() const { return config_; }
+
+ private:
+  CausalChainConfig config_;
+};
+
+}  // namespace ntier::millib

@@ -30,10 +30,14 @@ void CapacityStallInjector::begin_stall() {
   saved_factor_ = cpu_.capacity_factor();
   cpu_.set_capacity_factor(std::min(saved_factor_, 1.0 - config_.severity));
   const sim::SimTime start = sim_.now();
+  NTIER_TRACE_EVENT(trace_events_, start, obs::EventKind::kStallStart,
+                    trace_tier_, trace_node_, -1, 0, config_.severity);
   sim_.after(config_.duration, [this, start] {
     cpu_.set_capacity_factor(saved_factor_);
     stalled_ = false;
     episodes_.push_back(StallEpisode{start, sim_.now(), config_.severity});
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kStallStop,
+                      trace_tier_, trace_node_, -1, 0, config_.severity);
     arm();
   });
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "os/cpu.h"
 #include "sim/simulation.h"
 
@@ -48,6 +49,14 @@ class CapacityStallInjector {
   const std::string& name() const { return name_; }
   bool stalled() const { return stalled_; }
 
+  /// Attach the cross-tier event collector (null disables). Stalls are
+  /// emitted as stall_start/stall_stop with value = severity.
+  void set_trace(obs::TraceCollector* trace, obs::Tier tier, int node) {
+    trace_events_ = trace;
+    trace_tier_ = tier;
+    trace_node_ = node;
+  }
+
  private:
   void arm();
   void begin_stall();
@@ -59,6 +68,9 @@ class CapacityStallInjector {
   sim::Rng rng_;
   bool stalled_ = false;
   double saved_factor_ = 1.0;
+  obs::TraceCollector* trace_events_ = nullptr;
+  obs::Tier trace_tier_ = obs::Tier::kTomcat;
+  int trace_node_ = -1;
   std::vector<StallEpisode> episodes_;
 };
 

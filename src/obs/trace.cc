@@ -1,0 +1,44 @@
+#include "obs/trace.h"
+
+namespace ntier::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kClientSend: return "client_send";
+    case EventKind::kSynRetransmit: return "syn_retransmit";
+    case EventKind::kClientDone: return "client_done";
+    case EventKind::kAcceptEnqueue: return "accept_enqueue";
+    case EventKind::kAcceptDrop: return "accept_drop";
+    case EventKind::kWorkerPickup: return "worker_pickup";
+    case EventKind::kGetEndpointAttempt: return "get_endpoint_attempt";
+    case EventKind::kGetEndpointPoll: return "get_endpoint_poll";
+    case EventKind::kGetEndpointTimeout: return "get_endpoint_timeout";
+    case EventKind::kGetEndpointSkip: return "get_endpoint_skip";
+    case EventKind::kEndpointAcquire: return "endpoint_acquire";
+    case EventKind::kEndpointRelease: return "endpoint_release";
+    case EventKind::kBackendQueue: return "backend_queue";
+    case EventKind::kServiceStart: return "service_start";
+    case EventKind::kServiceEnd: return "service_end";
+    case EventKind::kPdflushStart: return "pdflush_start";
+    case EventKind::kPdflushStop: return "pdflush_stop";
+    case EventKind::kStallStart: return "stall_start";
+    case EventKind::kStallStop: return "stall_stop";
+    case EventKind::kBreakerState: return "breaker_state";
+    case EventKind::kLbValue: return "lb_value";
+    case EventKind::kIoWait: return "iowait";
+  }
+  return "?";
+}
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kClient: return "client";
+    case Tier::kApache: return "apache";
+    case Tier::kBalancer: return "balancer";
+    case Tier::kTomcat: return "tomcat";
+    case Tier::kMysql: return "mysql";
+  }
+  return "?";
+}
+
+}  // namespace ntier::obs

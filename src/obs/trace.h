@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ntier::obs {
+
+/// The fixed cross-tier event vocabulary. One request's life, in order:
+/// client_send → (syn_retransmit | accept_drop)* → accept_enqueue? →
+/// worker_pickup → get_endpoint_attempt → (get_endpoint_poll |
+/// get_endpoint_skip | get_endpoint_timeout)* → endpoint_acquire →
+/// backend_queue → service_start → service_end → endpoint_release →
+/// client_done. Interleaved with those per-request events are the node-level
+/// signals the paper's diagnosis correlates them against: pdflush/stall
+/// episodes, iowait samples, lb_value updates and breaker transitions.
+enum class EventKind : std::uint8_t {
+  // -- client tier ------------------------------------------------------------
+  kClientSend,      // first connection attempt (worker = client id)
+  kSynRetransmit,   // dropped SYN re-sent after the RTO (aux = attempt #)
+  kClientDone,      // response/failure at the client (value = response ms,
+                    // aux = RequestOutcome)
+  // -- front end (Apache) -----------------------------------------------------
+  kAcceptEnqueue,   // parked in the listen backlog (value = resident)
+  kAcceptDrop,      // backlog overflow: silent SYN drop (value = backlog size)
+  kWorkerPickup,    // an MPM worker thread took the request (value = busy)
+  // -- balancer (mod_jk) ------------------------------------------------------
+  kGetEndpointAttempt,  // candidate chosen, endpoint hunt starts
+                        // (worker = Tomcat idx, value = pool in_use)
+  kGetEndpointPoll,     // Algorithm-1 wake-up re-check (value = waited ms)
+  kGetEndpointTimeout,  // the acquirer gave up on this candidate
+  kGetEndpointSkip,     // candidate passed over while ineligible
+                        // (aux = WorkerState, 3 = breaker open)
+  kEndpointAcquire,     // AJP connection obtained (value = pool in_use)
+  kEndpointRelease,     // connection returned on response (value = in_use)
+  // -- backend (Tomcat / MySQL) -----------------------------------------------
+  kBackendQueue,    // entered the connector backlog (value = resident)
+  kServiceStart,    // servlet thread started executing (value = busy threads)
+  kServiceEnd,      // response leaves the backend (value = resident)
+  // -- node-level signals -------------------------------------------------------
+  kPdflushStart,    // writeback episode begins (value = dirty bytes claimed)
+  kPdflushStop,     // writeback episode ends (value = bytes written)
+  kStallStart,      // synthetic capacity stall begins (value = severity)
+  kStallStop,       // synthetic capacity stall ends (value = severity)
+  kBreakerState,    // circuit breaker transition (value: 0 closed, 1 open,
+                    // 2 half-open)
+  kLbValue,         // policy lb_value update (value = lb_value)
+  kIoWait,          // periodic iowait sample (value = disk busy fraction)
+};
+
+const char* to_string(EventKind k);
+
+/// Which tier emitted an event (the Perfetto "process" of its track).
+enum class Tier : std::uint8_t {
+  kClient,
+  kApache,
+  kBalancer,  // node = owning Apache, worker = Tomcat candidate
+  kTomcat,
+  kMysql,
+};
+
+const char* to_string(Tier t);
+
+/// One trace event: what + where + which request + when. `node` is the
+/// server index within its tier (or the Apache that owns the balancer);
+/// `worker` is the Tomcat candidate for balancer events, the client id for
+/// client events, and a thread-slot hint elsewhere (-1 = n/a). `value` and
+/// `aux` carry the kind-specific payload documented on EventKind.
+struct TraceEvent {
+  sim::SimTime at;
+  std::uint64_t request = 0;  // 0 = not a per-request event
+  double value = 0.0;
+  std::int32_t worker = -1;
+  std::int32_t aux = 0;
+  std::int16_t node = -1;
+  EventKind kind = EventKind::kClientSend;
+  Tier tier = Tier::kClient;
+};
+
+struct TraceConfig {
+  /// Ring capacity in events (~48 B each). When full, the oldest events are
+  /// overwritten and counted in dropped(); storage grows on demand, so an
+  /// idle collector costs almost nothing.
+  std::size_t capacity = 4u << 20;
+};
+
+/// Cross-tier event sink: a bounded ring of TraceEvents in emission order
+/// (which, in a discrete-event simulation, is also timestamp order).
+/// Instrumentation sites hold a `TraceCollector*` that is null when tracing
+/// is off and emit through the NTIER_TRACE_EVENT macro below, so the
+/// disabled path is one predictable branch — or nothing at all when the
+/// whole subsystem is compiled out with -DNTIER_OBS_DISABLED.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceConfig config = {}) : config_(config) {}
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void emit(sim::SimTime at, EventKind kind, Tier tier, int node, int worker,
+            std::uint64_t request, double value = 0.0, std::int32_t aux = 0) {
+    TraceEvent e;
+    e.at = at;
+    e.kind = kind;
+    e.tier = tier;
+    e.node = static_cast<std::int16_t>(node);
+    e.worker = worker;
+    e.request = request;
+    e.value = value;
+    e.aux = aux;
+    push(e);
+  }
+
+  void push(const TraceEvent& e) {
+    ++emitted_;
+    if (ring_.size() < config_.capacity) {
+      ring_.push_back(e);
+      return;
+    }
+    // Full: overwrite the oldest event.
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+
+  std::uint64_t emitted() const { return emitted_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return config_.capacity; }
+  bool empty() const { return ring_.empty(); }
+
+  /// Visit the retained events in chronological order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      fn(ring_[(head_ + i) % ring_.size()]);
+  }
+
+  /// Chronological copy of the retained events (ring unwrapped).
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for_each([&out](const TraceEvent& e) { out.push_back(e); });
+    return out;
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    emitted_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  TraceConfig config_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // oldest retained event once the ring wrapped
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ntier::obs
+
+// Emission macro used at every instrumentation site: a null-check when the
+// subsystem is built in, nothing at all under -DNTIER_OBS_DISABLED (the
+// arguments are not evaluated).
+#ifndef NTIER_OBS_DISABLED
+#define NTIER_TRACE_EVENT(collector, ...)             \
+  do {                                                \
+    if (collector) (collector)->emit(__VA_ARGS__);    \
+  } while (0)
+#else
+#define NTIER_TRACE_EVENT(collector, ...) \
+  do {                                    \
+  } while (0)
+#endif

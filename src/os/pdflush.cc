@@ -30,16 +30,22 @@ void PdflushDaemon::begin_flush() {
   flushing_ = true;
   episodes_.push_back(FlushEpisode{sim_.now(), sim::SimTime::max(), bytes});
   const std::size_t idx = episodes_.size() - 1;
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kPdflushStart,
+                    trace_tier_, trace_node_, -1, 0,
+                    static_cast<double>(bytes));
   // Starve the foreground while writeback is in flight: this is the
   // millibottleneck. (If another stall source already lowered the factor we
   // keep the lower of the two and restore on completion.)
   saved_factor_ = cpu_.capacity_factor();
   cpu_.set_capacity_factor(
       std::min(saved_factor_, 1.0 - config_.cpu_stall_severity));
-  disk_.submit_write(bytes, [this, idx] {
+  disk_.submit_write(bytes, [this, idx, bytes] {
     cpu_.set_capacity_factor(saved_factor_);
     flushing_ = false;
     episodes_[idx].end = sim_.now();
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kPdflushStop,
+                      trace_tier_, trace_node_, -1, 0,
+                      static_cast<double>(bytes));
     // More dirty bytes may have accumulated past the background threshold
     // while we were writing back; handle the crossing that we swallowed.
     if (cache_.dirty_bytes() > config_.dirty_background_bytes) begin_flush();

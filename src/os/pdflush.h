@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "os/cpu.h"
 #include "os/disk.h"
 #include "os/page_cache.h"
@@ -56,6 +57,15 @@ class PdflushDaemon {
   /// Force a flush now (used by tests and synthetic scenarios).
   void flush_now();
 
+  /// Attach the cross-tier event collector (null disables). Flush episodes
+  /// are emitted as pdflush_start/pdflush_stop with the given tier/node so
+  /// the trace shows which server's OS stalled (value = dirty bytes).
+  void set_trace(obs::TraceCollector* trace, obs::Tier tier, int node) {
+    trace_events_ = trace;
+    trace_tier_ = tier;
+    trace_node_ = node;
+  }
+
  private:
   void arm_timer();
   void begin_flush();
@@ -67,6 +77,9 @@ class PdflushDaemon {
   PdflushConfig config_;
   bool flushing_ = false;
   double saved_factor_ = 1.0;
+  obs::TraceCollector* trace_events_ = nullptr;
+  obs::Tier trace_tier_ = obs::Tier::kTomcat;
+  int trace_node_ = -1;
   std::vector<FlushEpisode> episodes_;
 };
 

@@ -50,13 +50,24 @@ bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
     start_worker(Work{req, std::move(respond)});
     return true;
   }
-  if (!backlog_.try_push(Work{req, std::move(respond)})) return false;
+  if (!backlog_.try_push(Work{req, std::move(respond)})) {
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kAcceptDrop,
+                      obs::Tier::kApache, id_, -1, req->id,
+                      static_cast<double>(backlog_.size()));
+    return false;
+  }
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kAcceptEnqueue,
+                    obs::Tier::kApache, id_, -1, req->id,
+                    static_cast<double>(backlog_.size()));
   queue_trace_.set(sim_.now(), resident());
   return true;
 }
 
 void ApacheServer::start_worker(Work w) {
   ++workers_busy_;
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kWorkerPickup,
+                    obs::Tier::kApache, id_, workers_busy_ - 1, w.req->id,
+                    static_cast<double>(workers_busy_));
   w.req->accepted_at = sim_.now();
   if (retry_budget_) retry_budget_->deposit();
   handle(std::move(w));

@@ -10,6 +10,7 @@
 #include "metrics/time_series.h"
 #include "net/bounded_queue.h"
 #include "net/link.h"
+#include "obs/trace.h"
 #include "os/node.h"
 #include "proto/frontend.h"
 #include "server/tomcat_server.h"
@@ -82,6 +83,14 @@ class ApacheServer final : public proto::FrontEnd {
   /// The Apache↔Tomcat link, exposed for fault injection.
   net::Link& tomcat_link() { return tomcat_link_; }
 
+  /// Attach the cross-tier event collector (null disables). Emits accept
+  /// enqueue/drop and worker-pickup events with tier=kApache, node=id, and
+  /// forwards the collector to the balancer.
+  void set_trace(obs::TraceCollector* trace) {
+    trace_events_ = trace;
+    balancer_->set_trace(trace, id_);
+  }
+
  private:
   struct Work {
     proto::RequestPtr req;
@@ -108,6 +117,7 @@ class ApacheServer final : public proto::FrontEnd {
   std::uint64_t served_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t retry_successes_ = 0;
+  obs::TraceCollector* trace_events_ = nullptr;
   metrics::GaugeSeries queue_trace_;
 };
 

@@ -26,6 +26,9 @@ bool TomcatServer::submit(const proto::RequestPtr& req, RespondFn respond) {
   if (crashed_) ++crashed_accepts_;  // chaos invariant: must never happen
   ++resident_;
   queue_trace_.set(sim_.now(), resident_);
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kBackendQueue,
+                    obs::Tier::kTomcat, id_, -1, req->id,
+                    static_cast<double>(resident_));
   connector_queue_.push_back(Work{req, std::move(respond)});
   dispatch();
   return true;
@@ -45,6 +48,9 @@ void TomcatServer::dispatch() {
     Work w = std::move(connector_queue_.front());
     connector_queue_.pop_front();
     ++threads_busy_;
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kServiceStart,
+                      obs::Tier::kTomcat, id_, threads_busy_ - 1, w.req->id,
+                      static_cast<double>(resident_));
     run(std::move(w));
   }
 }
@@ -86,6 +92,9 @@ void TomcatServer::complete(const Work& w) {
     --threads_busy_;
     --resident_;
     ++served_;
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kServiceEnd,
+                      obs::Tier::kTomcat, id_, -1, w.req->id,
+                      static_cast<double>(resident_));
     queue_trace_.set(sim_.now(), resident_);
     completions_.record(sim_.now(), 1.0);
     w.respond(w.req);

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "metrics/time_series.h"
+#include "obs/trace.h"
 #include "os/node.h"
 #include "proto/request.h"
 #include "server/db_router.h"
@@ -78,6 +79,10 @@ class TomcatServer {
   std::uint64_t connector_drops() const { return connector_drops_; }
   int threads_busy() const { return threads_busy_; }
 
+  /// Attach the cross-tier event collector (null disables). Emits backend
+  /// queue / service start / service end events with tier=kTomcat, node=id.
+  void set_trace(obs::TraceCollector* trace) { trace_events_ = trace; }
+
  private:
   struct Work {
     proto::RequestPtr req;
@@ -103,6 +108,7 @@ class TomcatServer {
   std::uint64_t connector_drops_ = 0;
   std::uint64_t refused_while_crashed_ = 0;
   std::uint64_t crashed_accepts_ = 0;
+  obs::TraceCollector* trace_events_ = nullptr;
   metrics::GaugeSeries queue_trace_;
   metrics::TimeSeries completions_;
 };

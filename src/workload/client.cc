@@ -62,6 +62,9 @@ void ClientPopulation::issue(std::uint16_t client) {
     req->session_route = routes_[client % routes_.size()];
   ++issued_;
   if (issue_hook_) issue_hook_(sim_.now(), client, req->interaction);
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kClientSend,
+                    obs::Tier::kClient, req->apache_id, client, req->id, 0.0,
+                    req->interaction);
   attempt(client, req, 0);
 }
 
@@ -99,6 +102,11 @@ void ClientPopulation::connect_dropped(std::uint16_t client,
   ++connection_drops_;
   if (tries < params_.retransmit.max_retries()) {
     req->retransmissions = static_cast<std::uint8_t>(req->retransmissions + 1);
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(),
+                      obs::EventKind::kSynRetransmit, obs::Tier::kClient,
+                      req->apache_id, client, req->id,
+                      params_.retransmit.delay(tries).to_millis(),
+                      req->retransmissions);
     sim_.after(params_.retransmit.delay(tries),
                [this, client, req, tries] { attempt(client, req, tries + 1); });
   } else {
@@ -117,6 +125,10 @@ void ClientPopulation::finish(std::uint16_t client, const proto::RequestPtr& req
   if (!routes_.empty() && outcome == metrics::RequestOutcome::kOk &&
       req->tomcat_id >= 0)
     routes_[client % routes_.size()] = req->tomcat_id;
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kClientDone,
+                    obs::Tier::kClient, req->apache_id, client, req->id,
+                    (sim_.now() - req->client_start).to_millis(),
+                    static_cast<std::int32_t>(outcome));
   if (req->client_start >= params_.warmup) {
     metrics::RequestRecord rec;
     rec.id = req->id;

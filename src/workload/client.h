@@ -6,6 +6,7 @@
 #include "metrics/request_log.h"
 #include "net/link.h"
 #include "net/retransmit.h"
+#include "obs/trace.h"
 #include "proto/frontend.h"
 #include "sim/simulation.h"
 #include "workload/rubbos.h"
@@ -72,6 +73,11 @@ class ClientPopulation {
                          std::uint16_t interaction)>;
   void set_issue_hook(IssueHook hook) { issue_hook_ = std::move(hook); }
 
+  /// Attach the cross-tier event collector (null disables). Emits
+  /// client_send / syn_retransmit / client_done events with tier=kClient,
+  /// node=targeted Apache, worker=client id.
+  void set_trace(obs::TraceCollector* trace) { trace_events_ = trace; }
+
   // -- counters (request conservation checks) --------------------------------
   std::uint64_t issued() const { return issued_; }
   std::uint64_t completed_ok() const { return completed_ok_; }
@@ -105,6 +111,7 @@ class ClientPopulation {
   std::vector<std::int16_t> routes_;  // per-client sticky route
   std::vector<std::int16_t> prev_;    // per-client last interaction (Markov)
   IssueHook issue_hook_;
+  obs::TraceCollector* trace_events_ = nullptr;
   bool in_burst_ = false;
   bool quiesced_ = false;
   std::uint64_t next_request_id_ = 1;

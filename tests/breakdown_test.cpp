@@ -60,6 +60,61 @@ TEST(LatencyBreakdown, AddAllAndPrint) {
   EXPECT_NE(os.str().find("2 requests"), std::string::npos);
 }
 
+TEST(LatencyBreakdown, CountsFailuresPerSegmentReached) {
+  LatencyBreakdown b;
+
+  // A retransmitted-but-successful request decomposes normally; its SYN
+  // retries live inside the connect segment.
+  RequestRecord retried = make_record(600.0, 2.0, 4.0, 1.0);
+  retried.retransmissions = 2;
+  b.add(retried);
+
+  // Dropped before any Apache accepted it: dies in connect.
+  RequestRecord dropped;
+  dropped.outcome = RequestOutcome::kDropped;
+  dropped.retransmissions = 7;
+  dropped.start = SimTime::seconds(2);
+  dropped.end = SimTime::seconds(12);
+  b.add(dropped);
+
+  // Accepted but the balancer never produced an endpoint: dies in balancing.
+  RequestRecord errored;
+  errored.outcome = RequestOutcome::kBalancerError;
+  errored.start = SimTime::seconds(3);
+  errored.accepted_at = errored.start + SimTime::from_millis(1);
+  errored.end = errored.accepted_at + SimTime::from_millis(300);
+  b.add(errored);
+
+  EXPECT_EQ(b.requests(), 1);
+  EXPECT_EQ(b.dropped(), 1);
+  EXPECT_EQ(b.balancer_errors(), 1);
+  EXPECT_EQ(b.dropped_in(LatencyBreakdown::kConnect), 1);
+  EXPECT_EQ(b.dropped_in(LatencyBreakdown::kBalancing), 0);
+  EXPECT_EQ(b.errored_in(LatencyBreakdown::kBalancing), 1);
+  EXPECT_EQ(b.errored_in(LatencyBreakdown::kConnect), 0);
+  EXPECT_GT(b.mean_ms(LatencyBreakdown::kConnect), 500.0);
+
+  std::ostringstream os;
+  b.print(os);
+  EXPECT_NE(os.str().find("failed before completion: 1 dropped, 1 balancer"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("died in connect"), std::string::npos);
+  EXPECT_NE(os.str().find("died in balancing"), std::string::npos);
+}
+
+TEST(LatencyBreakdown, FurthestSegmentFollowsStamps) {
+  RequestRecord r;
+  r.start = SimTime::seconds(1);
+  EXPECT_EQ(LatencyBreakdown::furthest_segment(r), LatencyBreakdown::kConnect);
+  r.accepted_at = r.start + SimTime::from_millis(1);
+  EXPECT_EQ(LatencyBreakdown::furthest_segment(r),
+            LatencyBreakdown::kBalancing);
+  r.assigned_at = r.accepted_at + SimTime::from_millis(1);
+  EXPECT_EQ(LatencyBreakdown::furthest_segment(r), LatencyBreakdown::kBackend);
+  r.backend_done_at = r.assigned_at + SimTime::from_millis(1);
+  EXPECT_EQ(LatencyBreakdown::furthest_segment(r), LatencyBreakdown::kReply);
+}
+
 TEST(LatencyBreakdown, SharesSumToOne) {
   LatencyBreakdown b;
   b.add(make_record(1.0, 1.0, 1.0, 1.0));

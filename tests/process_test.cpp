@@ -153,8 +153,11 @@ TEST(Process, ClosedLoopClientSketch) {
   Simulation s;
   os::CpuResource cpu(s, 4);
   int completed = 0;
+  // Bounded loop: the coroutine runs to completion inside the horizon, so
+  // its frame self-destroys (an endless loop would still be suspended at
+  // teardown and leak the frame).
   auto client = [](Simulation& simu, os::CpuResource& c, int& n) -> Process {
-    for (;;) {
+    for (int i = 0; i < 20; ++i) {
       co_await delay(simu, SimTime::millis(40));
       Completion<void> resp;
       c.submit(SimTime::millis(10), resp.callback());

@@ -1,0 +1,114 @@
+// Offline causal-chain diagnosis over a cross-tier event trace.
+//
+// Input: the JSONL trace written by `ntier_run --trace FILE` (or any bench
+// run with a trace path). Output: the reconstructed chain per OS episode —
+// pdflush -> iowait spike -> frozen lb_value -> committed-queue spike ->
+// retransmission cluster — plus a per-VLRT attribution table (which episode
+// explains each very-long-response-time request and which hop dominated it).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "millib/causal_chain.h"
+#include "obs/trace_io.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << R"(ntier_trace — causal-chain diagnosis of a cross-tier event trace
+
+usage: ntier_trace TRACE.jsonl [flags]
+
+  --window-ms X   committed-queue reconstruction window   (default 50)
+  --slack-ms X    episode-join temporal slack             (default 150)
+  --vlrt-ms X     VLRT response-time threshold            (default 1000)
+  --freeze-ms X   frozen-lb_value minimum gap             (default 100)
+  --json FILE     also write the report as JSON ("-" = stdout)
+  --quiet         suppress the human-readable report
+  --help          this text
+
+The trace is produced with:  ntier_run --trace run.jsonl
+)";
+}
+
+bool parse_ms(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end && *end == '\0' && out > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string json_path;
+  bool quiet = false;
+  ntier::millib::CausalChainConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    double x = 0;
+    if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--json") {
+      if (++i >= argc) { std::cerr << "missing --json value\n"; return 2; }
+      json_path = argv[i];
+    } else if (a == "--window-ms") {
+      if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --window-ms\n"; return 2; }
+      cfg.window = ntier::sim::SimTime::from_millis(x);
+    } else if (a == "--slack-ms") {
+      if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --slack-ms\n"; return 2; }
+      cfg.slack = ntier::sim::SimTime::from_millis(x);
+    } else if (a == "--vlrt-ms") {
+      if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --vlrt-ms\n"; return 2; }
+      cfg.vlrt_threshold_ms = x;
+    } else if (a == "--freeze-ms") {
+      if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --freeze-ms\n"; return 2; }
+      cfg.lb_freeze_min = ntier::sim::SimTime::from_millis(x);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown flag: " << a << "\n";
+      usage(std::cerr);
+      return 2;
+    } else if (trace_path.empty()) {
+      trace_path = a;
+    } else {
+      std::cerr << "unexpected argument: " << a << "\n";
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<ntier::obs::TraceEvent> events;
+  try {
+    events = ntier::obs::read_jsonl_file(trace_path);
+  } catch (const std::exception& err) {
+    std::cerr << "cannot read trace " << trace_path << ": " << err.what()
+              << "\n";
+    return 1;
+  }
+
+  const auto report = ntier::millib::CausalChainAnalyzer(cfg).analyze(events);
+  if (!quiet) report.print(std::cout);
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      report.to_json(std::cout);
+    } else {
+      std::ofstream f(json_path);
+      if (!f) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+      }
+      report.to_json(f);
+    }
+  }
+  return 0;
+}
