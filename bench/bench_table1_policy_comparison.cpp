@@ -33,6 +33,12 @@ int main(int argc, char** argv) {
        MechanismKind::kNonBlocking, "5.87", "0.76%"},
       {"Current_load with modified get_endpoint", PolicyKind::kCurrentLoad,
        MechanismKind::kNonBlocking, "3.60", "0.20%"},
+      // Probe-driven extensions (src/probe) — beyond the paper's table, so
+      // no reference numbers; see bench_ext_probe_policies for the deep dive.
+      {"Power_of_d probing with modified get_endpoint", PolicyKind::kPowerOfD,
+       MechanismKind::kNonBlocking, "-", "-"},
+      {"Prequal probing with modified get_endpoint", PolicyKind::kPrequal,
+       MechanismKind::kNonBlocking, "-", "-"},
   };
 
   double stock_rt = 0, remedy_rt = 0;

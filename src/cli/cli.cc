@@ -7,6 +7,7 @@
 
 #include "experiment/chaos.h"
 #include "experiment/experiment.h"
+#include "lb/probe_policy.h"
 #include "experiment/report.h"
 #include "experiment/summary.h"
 #include "workload/trace.h"
@@ -30,18 +31,6 @@ bool parse_double(const std::string& s, double& out) {
   } catch (...) {
     return false;
   }
-}
-
-std::optional<lb::PolicyKind> parse_policy(const std::string& s) {
-  using lb::PolicyKind;
-  if (s == "total_request") return PolicyKind::kTotalRequest;
-  if (s == "total_traffic") return PolicyKind::kTotalTraffic;
-  if (s == "current_load") return PolicyKind::kCurrentLoad;
-  if (s == "sessions") return PolicyKind::kSessions;
-  if (s == "round_robin") return PolicyKind::kRoundRobin;
-  if (s == "random") return PolicyKind::kRandom;
-  if (s == "two_choices") return PolicyKind::kTwoChoices;
-  return std::nullopt;
 }
 
 std::optional<lb::MechanismKind> parse_mechanism(const std::string& s) {
@@ -80,11 +69,17 @@ topology / scale
 
 policy & mechanism under test
   --policy P             total_request | total_traffic | current_load |
-                         sessions | round_robin | random | two_choices
+                         sessions | round_robin | random | two_choices |
+                         power_of_d (alias po2d) | prequal
   --mechanism M          blocking | modified | queueing
   --sticky               enable sticky sessions
   --db-policy P          replica-selection policy for the DB router
   --db-mechanism M       blocking | modified | queueing (default)
+
+probing (power_of_d / prequal; auto-enabled by those policies)
+  --probe-rate X         probe ticks per second       (default 50)
+  --probe-d N            targets probed per tick      (default 3)
+  --probe-staleness X    probe result lifetime in ms  (default 400)
 
 millibottleneck environment
   --no-millibottlenecks  pristine environment (Fig. 1 baseline)
@@ -169,7 +164,7 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.config.seed = static_cast<std::uint64_t>(n);
     } else if (a == "--policy") {
       if (!value(v)) return fail("missing --policy value");
-      const auto p = parse_policy(v);
+      const auto p = lb::policy_from_string(v);
       if (!p) return fail("unknown policy: " + v);
       o.config.policy = *p;
     } else if (a == "--mechanism") {
@@ -179,7 +174,7 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.config.mechanism = *m;
     } else if (a == "--db-policy") {
       if (!value(v)) return fail("missing --db-policy value");
-      const auto p = parse_policy(v);
+      const auto p = lb::policy_from_string(v);
       if (!p) return fail("unknown db policy: " + v);
       o.config.db_router.policy = *p;
     } else if (a == "--db-mechanism") {
@@ -216,6 +211,16 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.chaos_seed = static_cast<std::uint64_t>(n);
     } else if (a == "--resilience") {
       o.resilience = true;
+    } else if (a == "--probe-rate") {
+      if (!value(v) || !parse_double(v, x) || x <= 0) return fail("bad --probe-rate");
+      o.config.probe.rate_hz = x;
+    } else if (a == "--probe-d") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --probe-d");
+      o.config.probe.d = static_cast<int>(n);
+    } else if (a == "--probe-staleness") {
+      if (!value(v) || !parse_double(v, x) || x <= 0)
+        return fail("bad --probe-staleness");
+      o.config.probe.staleness = sim::SimTime::from_millis(x);
     } else if (a == "--trace") {
       if (!value(o.trace_path)) return fail("missing --trace value");
       o.config.event_trace = true;
@@ -355,6 +360,43 @@ int run_cli(const CliOptions& options) {
       std::cout << "resilience: " << probes << " probes (" << timeouts
                 << " timed out), " << trips << " breaker trips, " << retries
                 << " retries\n";
+    }
+    {
+      std::uint64_t sent = 0, replies = 0, timeouts = 0, uses = 0;
+      std::uint64_t piggybacked = 0;
+      std::uint64_t probe_picks = 0, tiebreaks = 0, fallback_picks = 0;
+      double staleness_sum = 0.0;
+      bool any_pool = false;
+      for (int a = 0; a < e.num_apaches(); ++a) {
+        const auto* pool = e.apache(a).probe_pool();
+        if (pool) {
+          any_pool = true;
+          sent += pool->probes_sent();
+          replies += pool->replies();
+          timeouts += pool->timeouts();
+          piggybacked += pool->piggybacked();
+          staleness_sum += pool->mean_staleness_at_use_ms() *
+                           static_cast<double>(pool->uses());
+          uses += pool->uses();
+        }
+        const auto* aware = dynamic_cast<const lb::ProbeAwarePolicy*>(
+            &e.apache(a).balancer().policy());
+        if (aware) {
+          probe_picks += aware->probe_picks();
+          tiebreaks += aware->tiebreak_picks();
+          fallback_picks += aware->fallback_picks();
+        }
+      }
+      if (any_pool) {
+        std::cout << "probing: " << sent << " probes ("
+                  << replies << " replies, " << timeouts << " timed out), "
+                  << piggybacked << " piggybacked reports, "
+                  << probe_picks << " probe-driven picks, " << tiebreaks
+                  << " probed tie-breaks, " << fallback_picks
+                  << " current_load fallbacks, mean staleness at use "
+                  << (uses ? staleness_sum / static_cast<double>(uses) : 0.0)
+                  << " ms\n";
+      }
     }
   }
   if (!options.record_trace_path.empty() && !replay) {

@@ -62,6 +62,11 @@ struct ExperimentConfig {
   /// Clients keep a jvmRoute after their first interaction and the
   /// balancers honour it (mod_jk sticky sessions).
   bool sticky_sessions = false;
+  /// Prequal-style load probing of the Tomcats (src/probe), one pool per
+  /// Apache. Experiment::build() force-enables this whenever `policy` is
+  /// probe-aware (kPowerOfD / kPrequal) so those policies never run blind;
+  /// explicitly enabling it with another policy just measures probe overhead.
+  probe::ProbeConfig probe;
 
   // -- servers ------------------------------------------------------------------
   server::ApacheConfig apache;

@@ -95,6 +95,7 @@ void Experiment::build() {
   for (int i = 0; i < config_.num_tomcats; ++i) {
     server::DbRouterConfig dc = config_.db_router;
     dc.link_latency = config_.link_latency;
+    if (lb::policy_uses_probes(dc.policy)) dc.probe.enabled = true;
     db_routers_.push_back(
         std::make_unique<server::DbRouter>(sim_, replica_ptrs, dc));
     tomcats_.push_back(std::make_unique<server::TomcatServer>(
@@ -108,6 +109,10 @@ void Experiment::build() {
   for (int i = 0; i < config_.num_apaches; ++i) {
     server::ApacheConfig ac = config_.apache;
     ac.link_latency = config_.link_latency;
+    ac.probe = config_.probe;
+    // A probe-aware policy without a probe pool would silently run as
+    // current_load for the whole experiment; force the pool on instead.
+    if (lb::policy_uses_probes(config_.policy)) ac.probe.enabled = true;
     lb::BalancerConfig bc = config_.balancer;
     bc.worker_weights = config_.tomcat_weights;
     if (config_.sticky_sessions) bc.sticky_sessions = true;

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "lb/probe_policy.h"
+
 namespace ntier::lb {
+
+bool LoadBalancer::attach_probes(probe::ProbePool* pool) {
+  auto* aware = dynamic_cast<ProbeAwarePolicy*>(policy_.get());
+  if (aware == nullptr) return false;
+  aware->bind(pool);
+  return true;
+}
 
 struct LoadBalancer::AssignContext {
   proto::RequestPtr req;

@@ -15,6 +15,10 @@
 #include "proto/request.h"
 #include "sim/simulation.h"
 
+namespace ntier::probe {
+class ProbePool;
+}  // namespace ntier::probe
+
 namespace ntier::lb {
 
 /// Balancer tunables (mod_jk worker properties plus the remedy knobs).
@@ -113,6 +117,11 @@ class LoadBalancer {
   }
   LbPolicy& policy() { return *policy_; }
   EndpointAcquirer& acquirer() { return *acquirer_; }
+
+  /// Bind a probe pool to a probe-aware policy (kPowerOfD / kPrequal).
+  /// Returns false — and leaves the pool unused — for every other policy,
+  /// which keeps probing strictly additive to the existing policy family.
+  bool attach_probes(probe::ProbePool* pool);
   const BalancerConfig& config() const { return config_; }
 
   std::uint64_t balancer_errors() const { return balancer_errors_; }

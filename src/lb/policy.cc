@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "lb/probe_policy.h"
+
 namespace ntier::lb {
 
 std::string to_string(PolicyKind k) {
@@ -13,8 +15,23 @@ std::string to_string(PolicyKind k) {
     case PolicyKind::kRoundRobin: return "round_robin";
     case PolicyKind::kRandom: return "random";
     case PolicyKind::kTwoChoices: return "two_choices";
+    case PolicyKind::kPowerOfD: return "power_of_d";
+    case PolicyKind::kPrequal: return "prequal";
   }
   return "?";
+}
+
+std::optional<PolicyKind> policy_from_string(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(PolicyKind::kPrequal); ++k) {
+    const auto kind = static_cast<PolicyKind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  if (name == "po2d") return PolicyKind::kPowerOfD;
+  return std::nullopt;
+}
+
+bool policy_uses_probes(PolicyKind k) {
+  return k == PolicyKind::kPowerOfD || k == PolicyKind::kPrequal;
 }
 
 int LbPolicy::pick(const std::vector<WorkerRecord>& records,
@@ -67,6 +84,8 @@ std::unique_ptr<LbPolicy> make_policy(PolicyKind kind) {
     case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
     case PolicyKind::kRandom: return std::make_unique<RandomPolicy>();
     case PolicyKind::kTwoChoices: return std::make_unique<TwoChoicesPolicy>();
+    case PolicyKind::kPowerOfD: return std::make_unique<PowerOfDPolicy>();
+    case PolicyKind::kPrequal: return std::make_unique<PrequalPolicy>();
   }
   throw std::invalid_argument("make_policy: unknown kind");
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,20 @@ enum class PolicyKind {
   kRoundRobin,    // classic baseline
   kRandom,        // classic baseline
   kTwoChoices,    // power-of-two-choices on outstanding (extension baseline)
+  kPowerOfD,      // JSQ(d) over probe-fresh requests-in-flight (src/probe)
+  kPrequal,       // Prequal hot/cold rule over probe-fresh RIF + latency
 };
 
 std::string to_string(PolicyKind k);
+
+/// Inverse of to_string for every PolicyKind, plus the "po2d" alias for
+/// kPowerOfD. Returns nullopt for unknown names; the single parse point used
+/// by the CLI and benches.
+std::optional<PolicyKind> policy_from_string(const std::string& name);
+
+/// Probe-aware policies (kPowerOfD, kPrequal) need a probe::ProbePool bound
+/// after construction; everything else ignores probing entirely.
+bool policy_uses_probes(PolicyKind k);
 
 /// Upper level of mod_jk's two-level scheduler: maintains each worker's
 /// lb_value and (for the non-value-based baselines) chooses the candidate.

@@ -26,6 +26,9 @@ const char* to_string(EventKind k) {
     case EventKind::kBreakerState: return "breaker_state";
     case EventKind::kLbValue: return "lb_value";
     case EventKind::kIoWait: return "iowait";
+    case EventKind::kProbeSent: return "probe_sent";
+    case EventKind::kProbeReply: return "probe_reply";
+    case EventKind::kProbeExpired: return "probe_expired";
   }
   return "?";
 }

@@ -47,6 +47,11 @@ enum class EventKind : std::uint8_t {
                     // 2 half-open)
   kLbValue,         // policy lb_value update (value = lb_value)
   kIoWait,          // periodic iowait sample (value = disk busy fraction)
+  // -- probe subsystem (appended to keep prior numeric values stable) -----------
+  kProbeSent,       // balancer probes a backend (value = pool size before)
+  kProbeReply,      // probe answered (value = probed RIF, aux = latency µs)
+  kProbeExpired,    // pooled result dropped (value = age ms; aux: 1 = stale,
+                    // 2 = reuse budget spent, 3 = probe timeout)
 };
 
 const char* to_string(EventKind k);

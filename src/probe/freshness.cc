@@ -1,0 +1,68 @@
+#include "probe/freshness.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ntier::probe {
+
+FreshnessStats probe_freshness(const std::vector<obs::TraceEvent>& events,
+                               sim::SimTime staleness) {
+  FreshnessStats s;
+  if (events.empty()) return s;
+
+  // Latest probe reply per (balancer node, worker), maintained as the scan
+  // replays the trace in time order.
+  std::map<std::pair<int, int>, sim::SimTime> last_reply;
+  std::vector<double> staleness_ms;
+
+  sim::SimTime first = events.front().at;
+  sim::SimTime last = events.front().at;
+  for (const obs::TraceEvent& e : events) {
+    first = std::min(first, e.at);
+    last = std::max(last, e.at);
+    switch (e.kind) {
+      case obs::EventKind::kProbeSent:
+        ++s.probes_sent;
+        break;
+      case obs::EventKind::kProbeReply:
+        ++s.probe_replies;
+        last_reply[{e.node, e.worker}] = e.at;
+        break;
+      case obs::EventKind::kProbeExpired:
+        if (e.aux == 1)
+          ++s.expired_stale;
+        else if (e.aux == 2)
+          ++s.expired_budget;
+        else
+          ++s.probe_timeouts;
+        break;
+      case obs::EventKind::kGetEndpointAttempt: {
+        const auto it = last_reply.find({e.node, e.worker});
+        if (it != last_reply.end() && e.at - it->second <= staleness) {
+          ++s.fresh_decisions;
+          staleness_ms.push_back((e.at - it->second).to_seconds() * 1e3);
+        } else {
+          ++s.fallback_decisions;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const double span_s = (last - first).to_seconds();
+  if (span_s > 0)
+    s.probes_per_sec = static_cast<double>(s.probes_sent) / span_s;
+
+  if (!staleness_ms.empty()) {
+    const auto mid = staleness_ms.size() / 2;
+    std::nth_element(staleness_ms.begin(), staleness_ms.begin() + mid,
+                     staleness_ms.end());
+    s.median_staleness_ms = staleness_ms[mid];
+  }
+  return s;
+}
+
+}  // namespace ntier::probe

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/time.h"
+
+namespace ntier::probe {
+
+/// Probe-freshness picture reconstructed from a trace alone (no access to
+/// the live ProbePool): how hard the probing loop worked and how fresh the
+/// state behind each routing decision actually was.
+struct FreshnessStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_replies = 0;
+  /// kProbeExpired broken out by aux code.
+  std::uint64_t expired_stale = 0;
+  std::uint64_t expired_budget = 0;
+  std::uint64_t probe_timeouts = 0;
+  /// Probes sent per second of trace span (0 when the span is empty).
+  double probes_per_sec = 0.0;
+  /// Routing decisions (kGetEndpointAttempt) that had a probe reply for the
+  /// chosen worker no older than the staleness bound...
+  std::uint64_t fresh_decisions = 0;
+  /// ...and those that did not (the policy fell back to current_load).
+  std::uint64_t fallback_decisions = 0;
+  /// Median age (ms) of the chosen worker's latest probe reply at decision
+  /// time, over fresh decisions only.
+  double median_staleness_ms = 0.0;
+
+  bool any_probe_events() const {
+    return probes_sent || probe_replies || expired_stale || expired_budget ||
+           probe_timeouts;
+  }
+};
+
+/// Scan a chronological event stream and compute FreshnessStats. `staleness`
+/// must match the run's --probe-staleness for the fresh/fallback split to
+/// reflect what the policy actually saw.
+FreshnessStats probe_freshness(const std::vector<obs::TraceEvent>& events,
+                               sim::SimTime staleness);
+
+}  // namespace ntier::probe

@@ -41,6 +41,30 @@ ApacheServer::ApacheServer(sim::Simulation& simu, os::Node& node, int id,
         },
         config_.prober);
   }
+  if (config_.probe.enabled) {
+    // A load probe travels the same Apache↔Tomcat link as a request and runs
+    // a tiny CPU job at the target, so millibottlenecks delay the answer past
+    // the pool's timeout instead of slipping through unnoticed.
+    probe_pool_ = std::make_unique<probe::ProbePool>(
+        simu, static_cast<int>(tomcats_.size()),
+        [this](int w, probe::ProbePool::ReplyFn done) {
+          tomcat_link_.deliver(sim_, [this, w, done = std::move(done)]() mutable {
+            tomcats_[static_cast<std::size_t>(w)]->probe_load(
+                [this, done = std::move(done)](bool ok, double rif,
+                                               double lat_ms) mutable {
+                  tomcat_link_.deliver(sim_, [done = std::move(done), ok, rif,
+                                              lat_ms] { done(ok, rif, lat_ms); });
+                });
+          });
+        },
+        config_.probe);
+    // Snapshot this balancer's own in-flight count when a reply is pooled so
+    // policies can drift-correct the global RIF between probe ticks.
+    probe_pool_->set_local_load([this](int w) {
+      return static_cast<double>(balancer_->record(w).outstanding);
+    });
+    balancer_->attach_probes(probe_pool_.get());
+  }
 }
 
 bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
@@ -101,6 +125,14 @@ void ApacheServer::dispatch(Work w, int attempt) {
                 tomcat_link_.deliver(sim_, [this, w, idx, attempt] {
                   w.req->backend_done_at = sim_.now();
                   balancer_->on_response(idx, w.req);
+                  // Piggyback the backend's load report on the response
+                  // (Prequal's probe-on-response mode): keeps the pool
+                  // millisecond-fresh on workers we are actively using.
+                  if (probe_pool_) {
+                    auto* t = tomcats_[static_cast<std::size_t>(idx)];
+                    probe_pool_->observe(idx, t->resident(),
+                                         t->latency_ewma_ms());
+                  }
                   if (attempt > 0) ++retry_successes_;
                   finish(w, /*ok=*/true);
                 });

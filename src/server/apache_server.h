@@ -12,6 +12,7 @@
 #include "net/link.h"
 #include "obs/trace.h"
 #include "os/node.h"
+#include "probe/probe_pool.h"
 #include "proto/frontend.h"
 #include "server/tomcat_server.h"
 #include "sim/simulation.h"
@@ -37,6 +38,10 @@ struct ApacheConfig {
   /// Front-end retry layer: budgeted, capped-backoff retries of balancer
   /// 503s and backend refusals (off by default).
   lb::RetryConfig retry;
+  /// Prequal-style load probing of the Tomcats (src/probe). Only the
+  /// probe-aware policies (kPowerOfD, kPrequal) consume the pool; for every
+  /// other policy an enabled pool just generates ignored probe traffic.
+  probe::ProbeConfig probe;
 };
 
 /// Web tier front-end. Accepts client connections into a bounded backlog,
@@ -75,6 +80,8 @@ class ApacheServer final : public proto::FrontEnd {
 
   /// Null unless ApacheConfig::prober.enabled.
   const lb::HealthProber* prober() const { return prober_.get(); }
+  /// Null unless ApacheConfig::probe.enabled.
+  const probe::ProbePool* probe_pool() const { return probe_pool_.get(); }
   /// Null unless ApacheConfig::retry.enabled.
   const lb::RetryBudget* retry_budget() const { return retry_budget_.get(); }
   std::uint64_t retries() const { return retries_; }
@@ -89,6 +96,7 @@ class ApacheServer final : public proto::FrontEnd {
   void set_trace(obs::TraceCollector* trace) {
     trace_events_ = trace;
     balancer_->set_trace(trace, id_);
+    if (probe_pool_) probe_pool_->set_trace(trace, id_);
   }
 
  private:
@@ -111,6 +119,7 @@ class ApacheServer final : public proto::FrontEnd {
   std::unique_ptr<lb::LoadBalancer> balancer_;
   std::unique_ptr<lb::HealthProber> prober_;
   std::unique_ptr<lb::RetryBudget> retry_budget_;
+  std::unique_ptr<probe::ProbePool> probe_pool_;
 
   net::BoundedQueue<Work> backlog_;
   int workers_busy_ = 0;

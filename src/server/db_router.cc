@@ -16,6 +16,25 @@ DbRouter::DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
   balancer_ = std::make_unique<lb::LoadBalancer>(
       simu, static_cast<int>(replicas_.size()), lb::make_policy(config_.policy),
       lb::make_acquirer(config_.mechanism, bc.blocking), bc);
+  if (config_.probe.enabled) {
+    probe_pool_ = std::make_unique<probe::ProbePool>(
+        simu, static_cast<int>(replicas_.size()),
+        [this](int w, probe::ProbePool::ReplyFn done) {
+          link_.deliver(sim_, [this, w, done = std::move(done)]() mutable {
+            replicas_[static_cast<std::size_t>(w)]->probe_load(
+                [this, done = std::move(done)](bool ok, double rif,
+                                               double lat_ms) mutable {
+                  link_.deliver(sim_, [done = std::move(done), ok, rif,
+                                       lat_ms] { done(ok, rif, lat_ms); });
+                });
+          });
+        },
+        config_.probe);
+    probe_pool_->set_local_load([this](int w) {
+      return static_cast<double>(balancer_->record(w).outstanding);
+    });
+    balancer_->attach_probes(probe_pool_.get());
+  }
 }
 
 void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
@@ -33,6 +52,11 @@ void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
           demand, [this, req, idx, done = std::move(done)]() mutable {
             link_.deliver(sim_, [this, req, idx, done = std::move(done)] {
               balancer_->on_response(idx, req);
+              if (probe_pool_) {
+                auto* m = replicas_[static_cast<std::size_t>(idx)];
+                probe_pool_->observe(idx, m->resident(),
+                                     m->latency_ewma_ms());
+              }
               done();
             });
           });

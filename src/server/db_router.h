@@ -6,6 +6,7 @@
 
 #include "lb/load_balancer.h"
 #include "net/link.h"
+#include "probe/probe_pool.h"
 #include "proto/request.h"
 #include "server/mysql_server.h"
 #include "sim/simulation.h"
@@ -27,6 +28,9 @@ struct DbRouterConfig {
   lb::MechanismKind mechanism = lb::MechanismKind::kQueueing;
   lb::BalancerConfig balancer;  // busy_recovery etc. for kNonBlocking
   sim::SimTime link_latency = sim::SimTime::micros(100);
+  /// Prequal-style load probing of the replicas, consumed only when
+  /// `policy` is probe-aware (kPowerOfD / kPrequal).
+  probe::ProbeConfig probe;
 };
 
 /// The Tomcat-to-MySQL connection layer: a connection pool per replica and
@@ -54,6 +58,8 @@ class DbRouter {
   int num_replicas() const { return balancer_->num_workers(); }
   MySqlServer& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
   lb::LoadBalancer& balancer() { return *balancer_; }
+  /// Null unless DbRouterConfig::probe.enabled.
+  const probe::ProbePool* probe_pool() const { return probe_pool_.get(); }
   std::uint64_t errors() const { return errors_; }
   std::uint64_t queries_routed() const { return routed_; }
 
@@ -63,6 +69,7 @@ class DbRouter {
   DbRouterConfig config_;
   net::Link link_;
   std::unique_ptr<lb::LoadBalancer> balancer_;
+  std::unique_ptr<probe::ProbePool> probe_pool_;
   std::uint64_t errors_ = 0;
   std::uint64_t routed_ = 0;
 };

@@ -9,11 +9,29 @@ MySqlServer::MySqlServer(sim::Simulation& simu, os::Node& node,
 void MySqlServer::execute(sim::SimTime demand, std::function<void()> done) {
   ++resident_;
   queue_trace_.set(sim_.now(), resident_);
+  // Wrap the completion to fold this query's whole latency (queueing
+  // included) into the EWMA the load probes report.
+  const sim::SimTime arrived = sim_.now();
+  auto wrapped = [this, arrived, done = std::move(done)] {
+    const double lat_ms = (sim_.now() - arrived).to_seconds() * 1e3;
+    constexpr double kAlpha = 0.2;
+    latency_ewma_ms_ = latency_ewma_ms_ == 0.0
+                           ? lat_ms
+                           : (1 - kAlpha) * latency_ewma_ms_ + kAlpha * lat_ms;
+    if (done) done();
+  };
   if (executing_ < config_.max_connections) {
-    start(demand, std::move(done));
+    start(demand, std::move(wrapped));
   } else {
-    waiting_.emplace_back(demand, std::move(done));
+    waiting_.emplace_back(demand, std::move(wrapped));
   }
+}
+
+void MySqlServer::probe_load(
+    std::function<void(bool, double, double)> done) {
+  node_.cpu().submit(config_.probe_demand, [this, done = std::move(done)] {
+    done(true, static_cast<double>(resident_), latency_ewma_ms_);
+  });
 }
 
 void MySqlServer::start(sim::SimTime demand, std::function<void()> done) {

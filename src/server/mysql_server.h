@@ -19,6 +19,9 @@ struct MySqlConfig {
   /// DB-side millibottleneck experiments. Zero in the paper's setup, where
   /// the flush problem lives on the Tomcat tier.
   std::uint32_t log_bytes_per_query = 0;
+  /// CPU demand of answering one load probe (probe::ProbePool) — tiny, but
+  /// on the real run queue so a stalled replica answers late.
+  sim::SimTime probe_demand = sim::SimTime::micros(20);
 };
 
 /// Database tier. The paper's MySQL is never the bottleneck (Fig. 2(b): no
@@ -35,6 +38,14 @@ class MySqlServer {
 
   /// Execute one query of the given CPU demand; `done` fires on completion.
   void execute(sim::SimTime demand, std::function<void()> done);
+
+  /// Answer a load probe (probe::ProbePool): a tiny CPU job that reports
+  /// queries-in-flight at answer time plus the recent query-latency EWMA.
+  void probe_load(std::function<void(bool ok, double rif, double latency_ms)>
+                      done);
+
+  /// Recent whole-query latency (execute → done), EWMA in ms.
+  double latency_ewma_ms() const { return latency_ewma_ms_; }
 
   /// Queries resident (queued + executing) — the MySQL tier queue series.
   int resident() const { return resident_; }
@@ -54,6 +65,7 @@ class MySqlServer {
   int executing_ = 0;
   int resident_ = 0;
   std::uint64_t served_ = 0;
+  double latency_ewma_ms_ = 0.0;
   std::deque<std::pair<sim::SimTime, std::function<void()>>> waiting_;
   metrics::GaugeSeries queue_trace_;
 };

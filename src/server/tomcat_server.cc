@@ -29,7 +29,7 @@ bool TomcatServer::submit(const proto::RequestPtr& req, RespondFn respond) {
   NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kBackendQueue,
                     obs::Tier::kTomcat, id_, -1, req->id,
                     static_cast<double>(resident_));
-  connector_queue_.push_back(Work{req, std::move(respond)});
+  connector_queue_.push_back(Work{req, std::move(respond), sim_.now()});
   dispatch();
   return true;
 }
@@ -41,6 +41,20 @@ void TomcatServer::probe(std::function<void(bool)> done) {
   }
   node_.cpu().submit(config_.probe_demand,
                      [done = std::move(done)] { done(true); });
+}
+
+void TomcatServer::probe_load(
+    std::function<void(bool, double, double)> done) {
+  if (crashed_) {
+    done(false, 0.0, 0.0);
+    return;
+  }
+  // Sampling resident_ when the probe job *completes* (not when it was
+  // submitted) is deliberate: a stalled CPU both delays the answer and
+  // reports the queue that built up meanwhile.
+  node_.cpu().submit(config_.probe_demand, [this, done = std::move(done)] {
+    done(true, static_cast<double>(resident_), latency_ewma_ms_);
+  });
 }
 
 void TomcatServer::dispatch() {
@@ -92,6 +106,13 @@ void TomcatServer::complete(const Work& w) {
     --threads_busy_;
     --resident_;
     ++served_;
+    // EWMA over submit→response latency; alpha 0.2 tracks a millibottleneck
+    // within a handful of completions without jittering on single requests.
+    const double lat_ms = (sim_.now() - w.arrived).to_seconds() * 1e3;
+    constexpr double kAlpha = 0.2;
+    latency_ewma_ms_ = latency_ewma_ms_ == 0.0
+                           ? lat_ms
+                           : (1 - kAlpha) * latency_ewma_ms_ + kAlpha * lat_ms;
     NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kServiceEnd,
                       obs::Tier::kTomcat, id_, -1, w.req->id,
                       static_cast<double>(resident_));

@@ -22,7 +22,7 @@ struct TomcatConfig {
   /// CPU demand of answering one health probe (lb/health.h) — tiny, but on
   /// the real CPU run queue, so a stalled CPU delays the answer past the
   /// prober's timeout.
-  sim::SimTime probe_demand = sim::SimTime::micros(200);
+  sim::SimTime probe_demand = sim::SimTime::micros(20);
 };
 
 /// Application tier. Each request: servlet CPU work, `db_queries` sequential
@@ -51,6 +51,15 @@ class TomcatServer {
   /// tiny CPU job whose completion time reflects the run-queue depth (a
   /// capacity-stalled CPU answers late — which is the point).
   void probe(std::function<void(bool)> done);
+
+  /// Answer a load probe (probe::ProbePool): same CPU path as probe(), but
+  /// the reply reports requests-in-flight at answer time plus the recent
+  /// service-latency EWMA — the state Prequal-style policies rank on.
+  void probe_load(std::function<void(bool ok, double rif, double latency_ms)>
+                      done);
+
+  /// Recent whole-request service latency (submit → response), EWMA in ms.
+  double latency_ewma_ms() const { return latency_ewma_ms_; }
 
   /// Fault injection: a crashed Tomcat refuses new submits (the Apache sees
   /// a connect failure on an endpoint it already holds) while in-flight work
@@ -87,6 +96,7 @@ class TomcatServer {
   struct Work {
     proto::RequestPtr req;
     RespondFn respond;
+    sim::SimTime arrived;
   };
   void dispatch();
   void run(Work w);
@@ -108,6 +118,7 @@ class TomcatServer {
   std::uint64_t connector_drops_ = 0;
   std::uint64_t refused_while_crashed_ = 0;
   std::uint64_t crashed_accepts_ = 0;
+  double latency_ewma_ms_ = 0.0;
   obs::TraceCollector* trace_events_ = nullptr;
   metrics::GaugeSeries queue_trace_;
   metrics::TimeSeries completions_;

@@ -24,14 +24,42 @@ std::vector<int> all_of(int n) {
   return v;
 }
 
+constexpr PolicyKind kAllKinds[] = {
+    PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic,
+    PolicyKind::kCurrentLoad,  PolicyKind::kSessions,
+    PolicyKind::kRoundRobin,   PolicyKind::kRandom,
+    PolicyKind::kTwoChoices,   PolicyKind::kPowerOfD,
+    PolicyKind::kPrequal};
+
 TEST(Policy, FactoryRoundTrips) {
-  for (auto kind : {PolicyKind::kTotalRequest, PolicyKind::kTotalTraffic,
-                    PolicyKind::kCurrentLoad, PolicyKind::kSessions,
-                    PolicyKind::kRoundRobin, PolicyKind::kRandom,
-                    PolicyKind::kTwoChoices}) {
+  for (auto kind : kAllKinds) {
     auto p = make_policy(kind);
     EXPECT_EQ(p->kind(), kind);
     EXPECT_FALSE(p->name().empty());
+  }
+}
+
+TEST(Policy, StringRoundTripsForEveryKind) {
+  // to_string -> policy_from_string is the identity for every PolicyKind:
+  // the CLI's single parse point must accept exactly what we print.
+  for (auto kind : kAllKinds) {
+    const std::string name = to_string(kind);
+    EXPECT_NE(name, "?");
+    const auto back = policy_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  // The documented alias and the failure path.
+  EXPECT_EQ(policy_from_string("po2d"), PolicyKind::kPowerOfD);
+  EXPECT_FALSE(policy_from_string("fastest").has_value());
+  EXPECT_FALSE(policy_from_string("").has_value());
+}
+
+TEST(Policy, ProbeAwarenessIsLimitedToTheProbeFamily) {
+  for (auto kind : kAllKinds) {
+    const bool expect = kind == PolicyKind::kPowerOfD ||
+                        kind == PolicyKind::kPrequal;
+    EXPECT_EQ(policy_uses_probes(kind), expect) << to_string(kind);
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include "millib/causal_chain.h"
 #include "obs/trace_io.h"
+#include "probe/freshness.h"
 
 namespace {
 
@@ -26,6 +27,8 @@ usage: ntier_trace TRACE.jsonl [flags]
   --slack-ms X    episode-join temporal slack             (default 150)
   --vlrt-ms X     VLRT response-time threshold            (default 1000)
   --freeze-ms X   frozen-lb_value minimum gap             (default 100)
+  --probe-staleness-ms X  probe-result lifetime used for the freshness
+                  stats; match the run's --probe-staleness (default 400)
   --json FILE     also write the report as JSON ("-" = stdout)
   --quiet         suppress the human-readable report
   --help          this text
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool quiet = false;
   ntier::millib::CausalChainConfig cfg;
+  double probe_staleness_ms = 400;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -71,6 +75,9 @@ int main(int argc, char** argv) {
     } else if (a == "--freeze-ms") {
       if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --freeze-ms\n"; return 2; }
       cfg.lb_freeze_min = ntier::sim::SimTime::from_millis(x);
+    } else if (a == "--probe-staleness-ms") {
+      if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --probe-staleness-ms\n"; return 2; }
+      probe_staleness_ms = x;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown flag: " << a << "\n";
       usage(std::cerr);
@@ -98,6 +105,23 @@ int main(int argc, char** argv) {
 
   const auto report = ntier::millib::CausalChainAnalyzer(cfg).analyze(events);
   if (!quiet) report.print(std::cout);
+
+  // Probe-freshness block, only for traces from probe-enabled runs.
+  const auto freshness = ntier::probe::probe_freshness(
+      events, ntier::sim::SimTime::from_millis(probe_staleness_ms));
+  if (!quiet && freshness.any_probe_events()) {
+    std::cout << "\nprobe freshness (staleness bound " << probe_staleness_ms
+              << " ms)\n"
+              << "  probes: " << freshness.probes_sent << " sent ("
+              << freshness.probes_per_sec << "/s), " << freshness.probe_replies
+              << " replies, " << freshness.probe_timeouts << " timeouts\n"
+              << "  pool expiry: " << freshness.expired_stale << " stale, "
+              << freshness.expired_budget << " reuse-budget\n"
+              << "  decisions: " << freshness.fresh_decisions
+              << " probe-fresh (median staleness "
+              << freshness.median_staleness_ms << " ms), "
+              << freshness.fallback_decisions << " fallbacks\n";
+  }
   if (!json_path.empty()) {
     if (json_path == "-") {
       report.to_json(std::cout);
