@@ -19,6 +19,7 @@
 #include "experiment/experiment.h"
 #include "experiment/report.h"
 #include "experiment/summary.h"
+#include "experiment/sweep.h"
 #include "obs/trace_io.h"
 
 namespace ntier::bench {
@@ -101,6 +102,90 @@ inline std::unique_ptr<Experiment> run_experiment(const BenchOptions& opt,
   }
   if (!opt.json_path.empty()) append_json_row(opt, *e, wall_ms, runs);
   return e;
+}
+
+/// JSON row for a sweep: same shape as append_json_row plus `runs`, the
+/// `*_ci95` half-widths, and the pooled-distribution tail columns, so
+/// BENCH_results.json rows say how trustworthy each number is.
+inline void append_sweep_json_row(const BenchOptions& opt,
+                                  const experiment::AggregateSummary& agg,
+                                  double wall_ms, int run) {
+  std::ofstream f(opt.json_path, std::ios::app);
+  if (!f) {
+    std::cerr << "  [json] cannot append to " << opt.json_path << "\n";
+    return;
+  }
+  f << "{\"bench\":\"" << opt.program << "\",\"run\":" << run << ",\"label\":\""
+    << agg.label << "\",\"policy\":\"" << agg.policy << "\",\"mechanism\":\""
+    << agg.mechanism << "\",\"seed\":" << agg.base_seed
+    << ",\"runs\":" << agg.runs()
+    << ",\"completed\":" << agg.completed.mean
+    << ",\"completed_ci95\":" << agg.completed.ci95_half
+    << ",\"dropped\":" << agg.dropped.mean
+    << ",\"balancer_errors\":" << agg.balancer_errors.mean
+    << ",\"mean_ms\":" << agg.mean_rt_ms.mean
+    << ",\"mean_ms_ci95\":" << agg.mean_rt_ms.ci95_half
+    << ",\"p99_ms\":" << agg.p99_ms.mean
+    << ",\"p99_ms_ci95\":" << agg.p99_ms.ci95_half
+    << ",\"p999_ms\":" << agg.p999_ms.mean
+    << ",\"p999_ms_ci95\":" << agg.p999_ms.ci95_half
+    << ",\"vlrt_fraction\":" << agg.vlrt_fraction.mean
+    << ",\"vlrt_fraction_ci95\":" << agg.vlrt_fraction.ci95_half
+    << ",\"pooled_p99_ms\":" << agg.pooled_p99_ms()
+    << ",\"pooled_p999_ms\":" << agg.pooled_p999_ms()
+    << ",\"pooled_vlrt_fraction\":" << agg.pooled_vlrt_fraction()
+    << ",\"wall_ms\":" << wall_ms << "}\n";
+}
+
+/// Run one bench row as a sweep of `opt.sweep_seeds` replicas on `opt.jobs`
+/// worker threads. With sweep_seeds == 1 the config runs exactly as given
+/// (seed untouched), so single-run bench output stays comparable across
+/// versions; CI half-widths are then 0.
+inline experiment::AggregateSummary run_sweep(const BenchOptions& opt,
+                                              ExperimentConfig cfg,
+                                              bool announce = true) {
+  static int runs = 0;
+  experiment::SweepConfig sc;
+  if (opt.sweep_seeds <= 1) {
+    sc.grid.push_back(std::move(cfg));
+  } else {
+    sc.base = std::move(cfg);
+    sc.num_runs = opt.sweep_seeds;
+  }
+  sc.jobs = opt.jobs;
+  if (announce)
+    std::cout << "\n-- sweeping " << opt.sweep_seeds << " seeds of "
+              << experiment::describe(sc.grid.empty() ? sc.base : sc.grid[0])
+              << "\n";
+  const auto wall0 = std::chrono::steady_clock::now();
+  experiment::SweepRunner runner(std::move(sc));
+  experiment::AggregateSummary agg = runner.run();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall0)
+                             .count();
+  ++runs;
+  if (!opt.json_path.empty()) append_sweep_json_row(opt, agg, wall_ms, runs);
+  return agg;
+}
+
+/// Table-I style row for a sweep: the same columns as
+/// RequestLog::summary_row, each cross-run mean followed by its ±CI.
+inline void print_sweep_row(std::ostream& os, const std::string& label,
+                            const experiment::AggregateSummary& agg) {
+  auto pm = [](double mean, double ci, int prec) {
+    std::ostringstream s;
+    s << std::fixed << std::setprecision(prec) << mean << "+-"
+      << std::setprecision(prec) << ci;
+    return s.str();
+  };
+  os << std::left << std::setw(44) << label << std::right << std::setw(11)
+     << static_cast<std::int64_t>(agg.completed.mean + 0.5) << std::setw(13)
+     << pm(agg.mean_rt_ms.mean, agg.mean_rt_ms.ci95_half, 2) << std::setw(12)
+     << pm(agg.vlrt_fraction.mean * 100, agg.vlrt_fraction.ci95_half * 100, 2)
+     << std::setw(12)
+     << pm(agg.normal_fraction.mean * 100, agg.normal_fraction.ci95_half * 100,
+           1)
+     << "\n";
 }
 
 /// The standard 4A/4T/1M environment with millibottlenecks on the Tomcats.

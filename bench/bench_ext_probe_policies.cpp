@@ -84,12 +84,32 @@ int main(int argc, char** argv) {
   std::uint64_t remedy_vlrt = 0, prequal_vlrt = 0;
 
   std::cout << "\n";
+  if (opt.sweep_seeds > 1)
+    std::cout << "(each row: " << opt.sweep_seeds
+              << "-seed sweep, mean+-95% CI, " << opt.jobs << " jobs)\n";
   experiment::print_table1_header(std::cout);
   std::vector<std::string> probe_lines;
   for (const auto& row : rows) {
     ExperimentConfig cfg = cluster_config(opt, row.policy, row.mech);
     cfg.tracing = false;  // request log + probe counters carry this bench
     cfg.label = row.label;
+    if (opt.sweep_seeds > 1) {
+      // Sweep mode: the probe-counter deep dive is a single-run artifact;
+      // the sweep reports the policy comparison with confidence intervals.
+      const auto agg = run_sweep(opt, std::move(cfg), /*announce=*/false);
+      print_sweep_row(std::cout, row.label, agg);
+      if (row.policy == PolicyKind::kCurrentLoad) {
+        remedy_mean = agg.mean_rt_ms.mean;
+        remedy_vlrt = static_cast<std::uint64_t>(
+            agg.vlrt_fraction.mean * agg.completed.mean + 0.5);
+      }
+      if (row.policy == PolicyKind::kPrequal) {
+        prequal_mean = agg.mean_rt_ms.mean;
+        prequal_vlrt = static_cast<std::uint64_t>(
+            agg.vlrt_fraction.mean * agg.completed.mean + 0.5);
+      }
+      continue;
+    }
     auto e = run_experiment(opt, std::move(cfg), /*announce=*/false);
     std::cout << e->log().summary_row(row.label) << "  vlrt_n="
               << e->log().vlrt_count() << "\n";
@@ -136,6 +156,6 @@ int main(int argc, char** argv) {
                                             : "does NOT beat")
             << " the remedy pair on mean response time\n"
             << "(fixed seed => byte-deterministic; run with --seed N to vary,"
-               " --full for paper scale)\n";
+               " --sweep-seeds N --jobs J for mean+-CI, --full for paper scale)\n";
   return 0;
 }

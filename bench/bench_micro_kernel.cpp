@@ -22,6 +22,28 @@ static void BM_EventQueueScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
+// Timer-reset pattern: every retransmit/timeout timer in the testbed is
+// scheduled and then cancelled when the response lands first. The old
+// priority_queue + unordered_set implementation paid a hash insert + erase
+// per event here; the indexed heap cancels in O(1).
+static void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (int i = 0; i < 10'000; ++i) {
+      s.after(sim::SimTime::micros(i), [&s, i] {
+        const auto timeout =
+            s.after(sim::SimTime::millis(3), [] { /* would retransmit */ });
+        s.after(sim::SimTime::micros(200 + (i % 97)),
+                [&s, timeout] { s.cancel(timeout); });
+      });
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 30'000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
 static void BM_CpuProcessorSharing(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
   for (auto _ : state) {

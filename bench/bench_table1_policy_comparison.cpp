@@ -43,18 +43,26 @@ int main(int argc, char** argv) {
 
   double stock_rt = 0, remedy_rt = 0;
   std::cout << "\n";
+  if (opt.sweep_seeds > 1)
+    std::cout << "(each row: " << opt.sweep_seeds
+              << "-seed sweep, mean+-95% CI, " << opt.jobs << " jobs)\n";
   experiment::print_table1_header(std::cout);
-  std::vector<std::string> measured;
   for (const auto& row : rows) {
     ExperimentConfig cfg = cluster_config(opt, row.policy, row.mech);
     cfg.tracing = false;  // fastest path; Table I needs only the request log
     cfg.label = row.label;
-    auto e = run_experiment(opt, std::move(cfg), /*announce=*/false);
-    std::cout << e->log().summary_row(row.label) << "\n";
-    if (std::string(row.label) == "Original total_request")
-      stock_rt = e->log().mean_response_ms();
-    if (std::string(row.label) == "Current_load")
-      remedy_rt = e->log().mean_response_ms();
+    double mean_rt = 0;
+    if (opt.sweep_seeds > 1) {
+      const auto agg = run_sweep(opt, std::move(cfg), /*announce=*/false);
+      print_sweep_row(std::cout, row.label, agg);
+      mean_rt = agg.mean_rt_ms.mean;
+    } else {
+      auto e = run_experiment(opt, std::move(cfg), /*announce=*/false);
+      std::cout << e->log().summary_row(row.label) << "\n";
+      mean_rt = e->log().mean_response_ms();
+    }
+    if (std::string(row.label) == "Original total_request") stock_rt = mean_rt;
+    if (std::string(row.label) == "Current_load") remedy_rt = mean_rt;
   }
 
   std::cout << "\npaper reference (Table I):\n";

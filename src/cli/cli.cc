@@ -10,6 +10,7 @@
 #include "lb/probe_policy.h"
 #include "experiment/report.h"
 #include "experiment/summary.h"
+#include "experiment/sweep.h"
 #include "workload/trace.h"
 
 namespace ntier::cli {
@@ -50,6 +51,46 @@ std::optional<experiment::StallSource> parse_source(const std::string& s) {
   return std::nullopt;
 }
 
+/// --sweep-seeds path: replicate the fully-resolved config (chaos and
+/// resilience already merged in) across derived seeds and report the
+/// cross-run statistics instead of a single RunSummary.
+int run_sweep(const CliOptions& options, experiment::ExperimentConfig cfg) {
+  experiment::SweepConfig sc;
+  sc.base = std::move(cfg);
+  sc.num_runs = options.sweep_seeds;
+  sc.jobs = options.jobs;
+  if (!options.quiet)
+    std::cout << "sweeping " << sc.num_runs << " seeds ("
+              << options.jobs << " jobs) of " << experiment::describe(sc.base)
+              << "\n";
+  experiment::SweepRunner runner(std::move(sc));
+  const experiment::AggregateSummary agg = runner.run();
+  if (!options.quiet) agg.print_table(std::cout);
+  if (!options.json_path.empty()) {
+    std::ofstream f(options.json_path);
+    if (!f) {
+      std::cerr << "cannot write " << options.json_path << "\n";
+      return 1;
+    }
+    agg.to_json(f);
+  }
+  if (!options.csv_dir.empty()) {
+    try {
+      std::filesystem::create_directories(options.csv_dir);
+      std::ofstream a(options.csv_dir + "/sweep_aggregate.csv");
+      std::ofstream r(options.csv_dir + "/sweep_runs.csv");
+      if (!a || !r) throw std::runtime_error("cannot open output file");
+      agg.to_csv(a);
+      agg.per_run_csv(r);
+    } catch (const std::exception& err) {
+      std::cerr << "cannot write sweep CSVs under --csv dir '"
+                << options.csv_dir << "': " << err.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string usage_text() {
@@ -86,6 +127,13 @@ millibottleneck environment
   --stall-source S       pdflush | gc | dvfs | vm
   --bursty X             bursty arrivals with multiplier X
   --mix M                read_write | browse_only
+
+multi-seed sweeps
+  --sweep-seeds N        run N replicas with per-replica derived seeds and
+                         report mean ± 95% CI per metric plus a pooled
+                         latency distribution (incompatible with traces)
+  --jobs J               sweep worker threads (default 1); the aggregate
+                         output is byte-identical for every J
 
 fault injection & resilience
   --chaos                inject a seeded randomized fault schedule (crashes,
@@ -211,6 +259,12 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.chaos_seed = static_cast<std::uint64_t>(n);
     } else if (a == "--resilience") {
       o.resilience = true;
+    } else if (a == "--sweep-seeds") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --sweep-seeds");
+      o.sweep_seeds = static_cast<int>(n);
+    } else if (a == "--jobs") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --jobs");
+      o.jobs = static_cast<int>(n);
     } else if (a == "--probe-rate") {
       if (!value(v) || !parse_double(v, x) || x <= 0) return fail("bad --probe-rate");
       o.config.probe.rate_hz = x;
@@ -243,6 +297,12 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       return fail("unknown flag: " + a);
     }
   }
+  if (o.sweep_seeds > 0 &&
+      (!o.record_trace_path.empty() || !o.replay_trace_path.empty() ||
+       !o.trace_path.empty()))
+    return fail(
+        "--sweep-seeds cannot be combined with --record-trace, "
+        "--replay-trace, or --trace (traces are per-run artifacts)");
   ParseResult r;
   r.options = std::move(o);
   return r;
@@ -288,6 +348,8 @@ int run_cli(const CliOptions& options) {
         millib::FaultPlan::randomized(options.chaos_seed, fc, cfg.num_tomcats));
     cfg.label += "_chaos";
   }
+
+  if (options.sweep_seeds > 0) return run_sweep(options, std::move(cfg));
 
   if (!options.quiet)
     std::cout << "running " << experiment::describe(cfg) << "\n";

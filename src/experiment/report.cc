@@ -125,6 +125,10 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       if (auto f = obs::parse_trace_format(argv[++i])) o.trace_format = *f;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       o.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-seeds") == 0 && i + 1 < argc) {
+      o.sweep_seeds = std::max(1, static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      o.jobs = std::max(1, static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
     }
   }
   return o;

@@ -41,8 +41,10 @@ void write_series_csv(const std::string& path, sim::SimTime window,
 /// Shared bench command line: `--full` switches to paper scale, `--csv DIR`
 /// writes raw series, `--seed N` overrides the seed, `--trace FILE` captures
 /// the cross-tier event trace of each run (2nd+ runs get a `.N` suffix),
-/// `--trace-format jsonl|chrome` picks the serialisation, and `--json FILE`
-/// appends one JSON result row per run (for scripts/run_all_benches.sh).
+/// `--trace-format jsonl|chrome` picks the serialisation, `--json FILE`
+/// appends one JSON result row per run (for scripts/run_all_benches.sh), and
+/// `--sweep-seeds N --jobs J` turns each table row into an N-replica sweep
+/// whose rows and JSON carry mean ± 95% CI columns.
 struct BenchOptions {
   bool full = false;
   std::string csv_dir;
@@ -51,6 +53,8 @@ struct BenchOptions {
   std::string trace_path;  // write each run's event trace here
   obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
   std::string json_path;   // append per-run JSON result rows here
+  int sweep_seeds = 1;     // > 1: sweep each row across derived seeds
+  int jobs = 1;            // sweep worker threads (output is jobs-invariant)
   static BenchOptions parse(int argc, char** argv);
   /// Apply scale/seed to a config produced by a preset.
   ExperimentConfig apply(ExperimentConfig base) const;

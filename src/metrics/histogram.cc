@@ -55,10 +55,14 @@ double LatencyHistogram::percentile(double p) const {
 }
 
 std::int64_t LatencyHistogram::count_above(double threshold_ms) const {
+  // Snap the threshold to its containing bucket: the whole straddling bucket
+  // counts as "above", so above/below partition the samples exactly. (The
+  // old formulation skipped the bucket with lower < threshold < upper from
+  // BOTH sides, silently undercounting VLRT fractions at any threshold that
+  // is not a bucket boundary.)
   std::int64_t n = 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (bucket_lower(i) >= threshold_ms) n += counts_[i];
-  }
+  for (std::size_t i = bucket_index(threshold_ms); i < counts_.size(); ++i)
+    n += counts_[i];
   return n;
 }
 
@@ -70,11 +74,9 @@ double LatencyHistogram::fraction_above(double threshold_ms) const {
 
 double LatencyHistogram::fraction_below(double threshold_ms) const {
   if (count_ == 0) return 0.0;
-  std::int64_t n = 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (bucket_upper(i) <= threshold_ms) n += counts_[i];
-  }
-  return static_cast<double>(n) / static_cast<double>(count_);
+  // Exact complement of count_above: every sample lands on exactly one side.
+  return static_cast<double>(count_ - count_above(threshold_ms)) /
+         static_cast<double>(count_);
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {

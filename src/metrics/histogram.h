@@ -32,9 +32,13 @@ class LatencyHistogram {
   double percentile(double p) const;
 
   /// Number / fraction of samples with value > threshold (e.g. VLRT > 1000).
+  /// The threshold is snapped to its containing bucket (the straddling
+  /// bucket counts as "above"), so count_above + the "below" complement is
+  /// a partition: every recorded sample is counted on exactly one side.
   std::int64_t count_above(double threshold_ms) const;
   double fraction_above(double threshold_ms) const;
-  /// Fraction with value < threshold (e.g. "normal" < 10 ms).
+  /// Fraction with value < threshold (e.g. "normal" < 10 ms). Exact
+  /// complement of fraction_above at the same threshold.
   double fraction_below(double threshold_ms) const;
 
   std::size_t num_buckets() const { return counts_.size(); }

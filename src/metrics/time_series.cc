@@ -5,6 +5,12 @@
 
 namespace ntier::metrics {
 
+sim::SimTime checked_window(sim::SimTime window) {
+  if (window.ns() <= 0)
+    throw std::invalid_argument("metrics window must be positive");
+  return window;
+}
+
 namespace {
 std::size_t window_index(sim::SimTime t, sim::SimTime window) {
   if (t.ns() < 0) throw std::invalid_argument("negative timestamp");

@@ -11,13 +11,19 @@
 
 namespace ntier::metrics {
 
+/// Validate an aggregation window at construction time: window_index()
+/// divides by window.ns(), so a non-positive window is integer
+/// divide-by-zero UB rather than a recoverable error. Fail loudly instead.
+sim::SimTime checked_window(sim::SimTime window);
+
 /// Fixed-width-window aggregation of point samples (e.g. per-50 ms response
 /// times, VLRT counts). The paper's time-series figures are all rendered
 /// from this form.
 class TimeSeries {
  public:
   /// `window` is the aggregation bin width (the paper uses 50 ms bins).
-  explicit TimeSeries(sim::SimTime window) : window_(window) {}
+  /// Must be positive — a zero window would divide by zero in the bin index.
+  explicit TimeSeries(sim::SimTime window) : window_(checked_window(window)) {}
 
   void record(sim::SimTime t, double value);
 
@@ -66,7 +72,7 @@ class TimeSeries {
 /// timestamps; `finish()` closes the integration at the end of a run.
 class GaugeSeries {
  public:
-  explicit GaugeSeries(sim::SimTime window) : window_(window) {}
+  explicit GaugeSeries(sim::SimTime window) : window_(checked_window(window)) {}
 
   void set(sim::SimTime t, double value);
   void add(sim::SimTime t, double delta) { set(t, last_value_ + delta); }

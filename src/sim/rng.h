@@ -15,10 +15,32 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
+  /// splitmix64 finaliser: a bijective avalanche mix. Used to turn nearby /
+  /// weakly mixed 64-bit values (raw engine draws, seed+index pairs) into
+  /// well-separated seeds for child streams.
+  static std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
   /// Derive an independent child stream; used to give each client / server /
   /// injector its own stream so component insertion order does not perturb
-  /// other components' draws.
-  Rng fork() { return Rng(engine_()); }
+  /// other components' draws. The raw mt19937_64 draw is mixed through
+  /// splitmix64 before seeding: mt19937_64's seeding of its 19937-bit state
+  /// from a single word is weak enough that correlated/poorly mixed seed
+  /// words give observably correlated child streams. Determinism is
+  /// preserved (same parent seed => same children).
+  Rng fork() { return Rng(mix64(engine_())); }
+
+  /// Deterministic per-replica seed derivation for multi-seed sweeps:
+  /// independent of thread scheduling, collision-resistant across run
+  /// indices, and distinct from the base stream itself.
+  static std::uint64_t derive_seed(std::uint64_t base_seed,
+                                   std::uint64_t index) {
+    return mix64(base_seed + 0x632BE59BD9B4E019ull * (index + 1));
+  }
 
   std::uint64_t next_u64() { return engine_(); }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -152,6 +153,41 @@ TEST(Cli, ReplayMissingFileFails) {
   auto rep = parse({"--quiet", "--replay-trace", "/tmp/definitely_missing_42.csv"});
   ASSERT_TRUE(rep.ok());
   EXPECT_EQ(run_cli(*rep.options), 1);
+}
+
+TEST(Cli, SweepFlags) {
+  const auto r = parse({"--sweep-seeds", "8", "--jobs", "4"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->sweep_seeds, 8);
+  EXPECT_EQ(r.options->jobs, 4);
+  EXPECT_FALSE(parse({"--sweep-seeds", "0"}).ok());
+  EXPECT_FALSE(parse({"--jobs", "-1"}).ok());
+  // Per-run trace artifacts make no sense for an aggregate sweep.
+  EXPECT_FALSE(parse({"--sweep-seeds", "2", "--trace", "/tmp/t.jsonl"}).ok());
+  EXPECT_FALSE(
+      parse({"--sweep-seeds", "2", "--record-trace", "/tmp/t.csv"}).ok());
+  EXPECT_FALSE(
+      parse({"--sweep-seeds", "2", "--replay-trace", "/tmp/t.csv"}).ok());
+}
+
+TEST(Cli, SweepRunWritesAggregateOutputs) {
+  const std::string json = "/tmp/ntier_cli_sweep.json";
+  const std::string csv_dir = "/tmp/ntier_cli_sweep_csv";
+  auto r = parse({"--clients", "200", "--think-ms", "100", "--duration-s", "1",
+                  "--quiet", "--no-millibottlenecks", "--sweep-seeds", "2",
+                  "--jobs", "2", "--json", json, "--csv", csv_dir});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(run_cli(*r.options), 0);
+  std::ifstream f(json);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"ci95_half\""), std::string::npos);
+  EXPECT_NE(ss.str().find("\"per_run\""), std::string::npos);
+  EXPECT_TRUE(std::ifstream(csv_dir + "/sweep_aggregate.csv").good());
+  EXPECT_TRUE(std::ifstream(csv_dir + "/sweep_runs.csv").good());
+  std::remove(json.c_str());
+  std::filesystem::remove_all(csv_dir);
 }
 
 TEST(Cli, RunCliWritesJson) {

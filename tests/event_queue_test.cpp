@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
 #include <vector>
 
 namespace ntier::sim {
@@ -83,6 +85,125 @@ TEST(EventQueue, ManyInterleavedCancellations) {
     ++fired;
   }
   EXPECT_EQ(fired, 500u);
+}
+
+TEST(EventQueue, StaleIdCannotCancelSlotReuse) {
+  // After an event fires (or is cancelled) its id must never resolve again,
+  // even when the internal slot is reused by a later push.
+  EventQueue q;
+  const EventId old1 = q.push(SimTime::millis(1), [] {});
+  const EventId old2 = q.push(SimTime::millis(2), [] {});
+  q.pop().fn();               // fires old1, releasing its slot
+  EXPECT_TRUE(q.cancel(old2));  // releases old2's slot too
+  int fired = 0;
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 4; ++i)
+    fresh.push_back(q.push(SimTime::millis(10 + i), [&] { ++fired; }));
+  // The stale ids must not touch the reused slots' new occupants.
+  EXPECT_FALSE(q.cancel(old1));
+  EXPECT_FALSE(q.cancel(old2));
+  EXPECT_EQ(q.size(), 4u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 4);
+  for (EventId id : fresh) EXPECT_FALSE(q.cancel(id));  // all fired
+}
+
+TEST(EventQueue, FifoTieOrderSurvivesCancellations) {
+  // Cancel every other simultaneous event; the survivors must still fire in
+  // their original scheduling order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(q.push(SimTime::millis(7), [&order, i] { order.push_back(i); }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    EXPECT_LT(order[i], order[i + 1]);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i], static_cast<int>(2 * i + 1));
+}
+
+TEST(EventQueue, CancelledBacklogDrainsToEmpty) {
+  // Cancelling everything must leave the queue observably empty and
+  // next_time() at max, with no dead nodes resurfacing on later pushes.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5000; ++i)
+    ids.push_back(q.push(SimTime::micros(i % 50), [] {}));
+  for (EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), SimTime::max());
+  int fired = 0;
+  q.push(SimTime::millis(1), [&] { ++fired; });
+  EXPECT_EQ(q.next_time(), SimTime::millis(1));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RandomInterleavingMatchesReferenceModel) {
+  // Drive push/cancel/pop at scale against a std::multimap reference and
+  // require identical fire sequences — the heap + generation-slot machinery
+  // must be observationally equivalent to the obvious implementation.
+  EventQueue q;
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, int> ref;  // (t, seq)
+  std::map<EventId, decltype(ref)::iterator> live;
+  std::mt19937_64 rnd(2024);
+  std::vector<int> got, want;
+  std::uint64_t seq = 0;
+  int payload = 0;
+  for (int step = 0; step < 200'000; ++step) {
+    const auto roll = rnd() % 100;
+    if (roll < 55 || q.empty()) {
+      const auto t = static_cast<std::int64_t>(rnd() % 1000);
+      const int p = payload++;
+      const EventId id = q.push(SimTime::micros(t), [&got, p] { got.push_back(p); });
+      live.emplace(id, ref.emplace(std::make_pair(t, seq++), p));
+    } else if (roll < 75 && !live.empty()) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rnd() % live.size()));
+      EXPECT_TRUE(q.cancel(it->first));
+      EXPECT_FALSE(q.cancel(it->first));  // idempotent
+      ref.erase(it->second);
+      live.erase(it);
+    } else {
+      ASSERT_FALSE(ref.empty());
+      EXPECT_EQ(q.next_time(), SimTime::micros(ref.begin()->first.first));
+      auto fired = q.pop();
+      fired.fn();
+      want.push_back(ref.begin()->second);
+      // The popped event is no longer cancellable.
+      live.erase(live.find([&] {
+        for (const auto& [id, rit] : live)
+          if (rit == ref.begin()) return id;
+        return kInvalidEventId;
+      }()));
+      ref.erase(ref.begin());
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_EQ(got.back(), want.back());
+    }
+    EXPECT_EQ(q.size(), ref.size());
+  }
+  while (!q.empty()) {
+    auto fired = q.pop();
+    fired.fn();
+    want.push_back(ref.begin()->second);
+    ref.erase(ref.begin());
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(EventQueue, TotalScheduledCountsEveryPush) {
+  EventQueue q;
+  EXPECT_EQ(q.total_scheduled(), 0u);
+  const EventId a = q.push(SimTime::millis(1), [] {});
+  q.push(SimTime::millis(2), [] {});
+  q.cancel(a);
+  q.pop();
+  q.push(SimTime::millis(3), [] {});
+  EXPECT_EQ(q.total_scheduled(), 3u);  // cancels/pops don't rewind it
 }
 
 }  // namespace

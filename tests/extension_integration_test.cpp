@@ -117,9 +117,15 @@ TEST(BurstyWorkload, BurstsAloneCauseQueueSpikes) {
 }
 
 TEST(HeterogeneousTomcats, WeightsShiftTraffic) {
+  // Run at half the standard offered load: a weight-3 worker asked for half
+  // of ~10 k req/s sits at its capacity limit, where pool exhaustion clips
+  // its achievable share and the outcome swings with the seed. Below
+  // saturation the lbfactor accounting can actually deliver the 3:1:1:1
+  // split it promises.
   auto cfg = testing::quick_config(PolicyKind::kTotalRequest,
                                    MechanismKind::kNonBlocking, false,
                                    SimTime::seconds(8));
+  cfg.num_clients /= 2;
   cfg.tomcat_weights = {3.0, 1.0, 1.0, 1.0};
   auto e = testing::run(std::move(cfg));
   std::vector<std::uint64_t> served;

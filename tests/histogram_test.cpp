@@ -38,6 +38,31 @@ TEST(LatencyHistogram, VlrtAndNormalFractions) {
   EXPECT_NEAR(h.fraction_below(10.0), 0.90, 1e-9);
 }
 
+TEST(LatencyHistogram, StraddlingBucketThresholdIsAPartition) {
+  // Regression: a threshold strictly inside a bucket (1500 ms is not a
+  // boundary of the default 20-buckets/decade grid) used to drop the whole
+  // straddling bucket from BOTH count_above and fraction_below, so samples
+  // recorded at ~1500 ms vanished from either side.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(5.0);
+  for (int i = 0; i < 10; ++i) h.record(1500.0);  // inside [1412.5, 1584.9)
+  EXPECT_EQ(h.count_above(1500.0), 10);  // exact: the straddled bucket counts
+  EXPECT_NEAR(h.fraction_above(1500.0), 0.10, 1e-12);
+  EXPECT_NEAR(h.fraction_below(1500.0), 0.90, 1e-12);
+  // Above/below partition the samples at any threshold.
+  EXPECT_NEAR(h.fraction_above(1500.0) + h.fraction_below(1500.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.fraction_above(777.0) + h.fraction_below(777.0), 1.0, 1e-12);
+}
+
+TEST(LatencyHistogram, PartitionHoldsAcrossManyThresholds) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  for (double t : {0.05, 0.9, 1.0, 9.7, 10.0, 123.4, 999.9, 1000.0, 5e4, 2e5}) {
+    EXPECT_NEAR(h.fraction_above(t) + h.fraction_below(t), 1.0, 1e-12)
+        << "threshold " << t;
+  }
+}
+
 TEST(LatencyHistogram, ClampsOutOfRangeValues) {
   LatencyHistogram h(0.1, 1000.0, 10);
   h.record(0.0001);

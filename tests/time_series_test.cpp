@@ -24,6 +24,14 @@ TEST(TimeSeries, AggregatesIntoCorrectWindows) {
   EXPECT_DOUBLE_EQ(s.avg(1), 6.0);
 }
 
+TEST(TimeSeries, RejectsNonPositiveWindow) {
+  // A zero window would be integer divide-by-zero UB in the bin index.
+  EXPECT_THROW(TimeSeries{SimTime{}}, std::invalid_argument);
+  EXPECT_THROW(TimeSeries{SimTime::millis(-50)}, std::invalid_argument);
+  EXPECT_THROW(GaugeSeries{SimTime{}}, std::invalid_argument);
+  EXPECT_THROW(GaugeSeries{SimTime::millis(-1)}, std::invalid_argument);
+}
+
 TEST(TimeSeries, EmptyWindowsReadAsZero) {
   TimeSeries s(SimTime::millis(50));
   s.record(SimTime::millis(200), 1.0);
