@@ -64,8 +64,14 @@ inline void append_json_row(const BenchOptions& opt, Experiment& e,
     << ",\"balancer_errors\":" << s.balancer_errors
     << ",\"mean_ms\":" << s.mean_rt_ms << ",\"p99_ms\":" << s.p99_ms
     << ",\"p999_ms\":" << s.p999_ms << ",\"vlrt_count\":" << e.log().vlrt_count()
-    << ",\"vlrt_fraction\":" << s.vlrt_fraction << ",\"wall_ms\":" << wall_ms
-    << "}\n";
+    << ",\"vlrt_fraction\":" << s.vlrt_fraction
+    << ",\"goodput_rps\":" << s.goodput_rps
+    << ",\"total_sheds\":"
+    << (s.admission_sheds + s.brownout_sheds + s.deadline_sheds +
+        s.sojourn_sheds)
+    << ",\"deadline_sheds\":" << s.deadline_sheds
+    << ",\"wasted_work_avoided_ms\":" << s.wasted_work_avoided_ms
+    << ",\"wall_ms\":" << wall_ms << "}\n";
 }
 
 /// Trace/JSON-aware variant: enables event tracing when the bench was run
@@ -134,6 +140,10 @@ inline void append_sweep_json_row(const BenchOptions& opt,
     << ",\"pooled_p99_ms\":" << agg.pooled_p99_ms()
     << ",\"pooled_p999_ms\":" << agg.pooled_p999_ms()
     << ",\"pooled_vlrt_fraction\":" << agg.pooled_vlrt_fraction()
+    << ",\"goodput_rps\":" << agg.goodput_rps.mean
+    << ",\"goodput_rps_ci95\":" << agg.goodput_rps.ci95_half
+    << ",\"total_sheds\":" << agg.total_sheds.mean
+    << ",\"wasted_work_avoided_ms\":" << agg.wasted_work_avoided_ms.mean
     << ",\"wall_ms\":" << wall_ms << "}\n";
 }
 
@@ -193,7 +203,9 @@ inline ExperimentConfig cluster_config(const BenchOptions& opt,
                                        PolicyKind policy, MechanismKind mech,
                                        bool millibottlenecks = true) {
   ExperimentConfig c = opt.apply(ExperimentConfig::scaled(0.1));
-  c.duration = opt.full ? SimTime::seconds(180) : SimTime::seconds(20);
+  c.duration = opt.full    ? SimTime::seconds(180)
+               : opt.quick ? SimTime::seconds(8)
+                           : SimTime::seconds(20);
   c.policy = policy;
   c.mechanism = mech;
   c.tomcat_millibottlenecks = millibottlenecks;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "control/overload.h"
 #include "experiment/chaos.h"
 #include "experiment/experiment.h"
 #include "lb/probe_policy.h"
@@ -141,6 +142,16 @@ fault injection & resilience
   --chaos-seed N         fault-schedule seed (implies --chaos, default 1)
   --resilience           health probing + circuit breaker + budgeted retries
 
+overload control
+  --overload MODE        none | deadline | admission | codel | full —
+                         deadline propagation, AIMD admission limiting, and
+                         CoDel sojourn shedding across all tiers
+  --deadline-ms X        client response-time budget (default 1000; only
+                         with --overload deadline|full)
+  --priority-mix M       uniform | rubbos — rubbos stamps per-interaction
+                         brownout priorities (only with --overload
+                         admission|full)
+
 traces
   --record-trace FILE    save the run's arrival trace (CSV)
   --replay-trace FILE    drive the run open-loop from a saved trace
@@ -169,6 +180,11 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     r.error = msg;
     return r;
   };
+
+  bool overload_set = false;
+  control::OverloadMode overload_mode = control::OverloadMode::kNone;
+  double deadline_ms = 0;    // 0 = not given
+  bool priority_rubbos = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -259,6 +275,23 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.chaos_seed = static_cast<std::uint64_t>(n);
     } else if (a == "--resilience") {
       o.resilience = true;
+    } else if (a == "--overload") {
+      if (!value(v)) return fail("missing --overload value");
+      if (!control::parse_overload_mode(v, &overload_mode))
+        return fail("unknown overload mode: " + v +
+                    " (expected none|deadline|admission|codel|full)");
+      overload_set = true;
+    } else if (a == "--deadline-ms") {
+      if (!value(v) || !parse_double(v, x) || x <= 0)
+        return fail("bad --deadline-ms");
+      deadline_ms = x;
+    } else if (a == "--priority-mix") {
+      if (!value(v)) return fail("missing --priority-mix value");
+      if (v == "rubbos")
+        priority_rubbos = true;
+      else if (v != "uniform")
+        return fail("unknown priority mix: " + v +
+                    " (expected uniform|rubbos)");
     } else if (a == "--sweep-seeds") {
       if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --sweep-seeds");
       o.sweep_seeds = static_cast<int>(n);
@@ -303,6 +336,26 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     return fail(
         "--sweep-seeds cannot be combined with --record-trace, "
         "--replay-trace, or --trace (traces are per-run artifacts)");
+  using control::OverloadMode;
+  if (deadline_ms > 0 && (!overload_set ||
+                          (overload_mode != OverloadMode::kDeadline &&
+                           overload_mode != OverloadMode::kFull)))
+    return fail(
+        "--deadline-ms requires --overload deadline or --overload full "
+        "(no tier enforces deadlines otherwise)");
+  if (priority_rubbos && (!overload_set ||
+                          (overload_mode != OverloadMode::kAdmission &&
+                           overload_mode != OverloadMode::kFull)))
+    return fail(
+        "--priority-mix rubbos requires --overload admission or --overload "
+        "full (brownout priorities need the admission limiter)");
+  if (overload_set) {
+    o.config.overload = control::make_overload(
+        overload_mode, deadline_ms > 0 ? sim::SimTime::from_millis(deadline_ms)
+                                       : sim::SimTime::seconds(1));
+    if (priority_rubbos)
+      o.config.workload.priority_mix = workload::PriorityMix::kRubbos;
+  }
   ParseResult r;
   r.options = std::move(o);
   return r;
@@ -422,6 +475,18 @@ int run_cli(const CliOptions& options) {
       std::cout << "resilience: " << probes << " probes (" << timeouts
                 << " timed out), " << trips << " breaker trips, " << retries
                 << " retries\n";
+    }
+    if (e.config().overload.any()) {
+      std::cout << "overload control: goodput " << summary.goodput_rps
+                << " req/s (" << summary.completed_within_deadline
+                << " within deadline, " << summary.missed_deadline
+                << " late), sheds " << summary.admission_sheds << " admission / "
+                << summary.brownout_sheds << " brownout / "
+                << summary.deadline_sheds << " deadline / "
+                << summary.sojourn_sheds << " sojourn, "
+                << summary.shed_retries << " retriable-503 retries, "
+                << summary.wasted_work_avoided_ms
+                << " ms wasted work avoided\n";
     }
     {
       std::uint64_t sent = 0, replies = 0, timeouts = 0, uses = 0;

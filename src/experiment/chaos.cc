@@ -245,6 +245,8 @@ std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt) {
       c.tracing = false;
       c.fault_plan = plan;
       if (opt.resilience) c.enable_resilience();
+      if (opt.overload != control::OverloadMode::kNone)
+        c.overload = control::make_overload(opt.overload);
       results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));
     }
   }

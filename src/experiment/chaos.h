@@ -119,6 +119,10 @@ struct ChaosMatrixOptions {
   std::uint64_t chaos_seed = 1;
   /// Turn on prober + breaker + budgeted retries in every cell.
   bool resilience = false;
+  /// Overload control applied in every cell (kNone = seed behaviour). The
+  /// safety invariants must survive deadline/admission/CoDel shedding on
+  /// top of the fault schedule — sheds are answered, never lost.
+  control::OverloadMode overload = control::OverloadMode::kNone;
   int num_apaches = 2;
   int num_tomcats = 3;
   int num_clients = 400;

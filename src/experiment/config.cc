@@ -79,6 +79,11 @@ std::string describe(const ExperimentConfig& c) {
        << c.probe.d << " stale=" << c.probe.staleness.to_string() << ")";
   if (!c.fault_plan.empty())
     os << ", chaos(" << c.fault_plan.size() << " faults)";
+  if (c.overload.any())
+    os << ", overload=" << control::to_string(c.overload.mode) << "(budget="
+       << c.overload.deadline_budget.to_string() << ")";
+  if (c.workload.priority_mix == workload::PriorityMix::kRubbos)
+    os << ", priorities=rubbos";
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "control/overload.h"
 #include "lb/endpoint.h"
 #include "lb/load_balancer.h"
 #include "lb/policy.h"
@@ -67,6 +68,12 @@ struct ExperimentConfig {
   /// probe-aware (kPowerOfD / kPrequal) so those policies never run blind;
   /// explicitly enabling it with another policy just measures probe overhead.
   probe::ProbeConfig probe;
+  /// End-to-end overload control (src/control): deadline propagation, AIMD
+  /// admission limiting, CoDel sojourn shedding, priority brownout. Copied
+  /// into every tier's server config by Experiment::build(); clients stamp
+  /// deadlines whenever `overload.stamp_deadlines` is on (so baseline cells
+  /// can report comparable goodput without enforcing anything).
+  control::OverloadConfig overload;
 
   // -- servers ------------------------------------------------------------------
   server::ApacheConfig apache;

@@ -92,15 +92,18 @@ void Experiment::build() {
   std::vector<server::MySqlServer*> replica_ptrs;
   for (auto& m : mysqls_) replica_ptrs.push_back(m.get());
 
+  server::TomcatConfig tc = config_.tomcat;
+  tc.overload = config_.overload;
   for (int i = 0; i < config_.num_tomcats; ++i) {
     server::DbRouterConfig dc = config_.db_router;
     dc.link_latency = config_.link_latency;
+    dc.overload = config_.overload;
     if (lb::policy_uses_probes(dc.policy)) dc.probe.enabled = true;
     db_routers_.push_back(
         std::make_unique<server::DbRouter>(sim_, replica_ptrs, dc));
     tomcats_.push_back(std::make_unique<server::TomcatServer>(
         sim_, *tomcat_nodes_[static_cast<std::size_t>(i)], i, *db_routers_.back(),
-        config_.tomcat, config_.metric_window));
+        tc, config_.metric_window));
   }
 
   std::vector<server::TomcatServer*> tomcat_ptrs;
@@ -110,6 +113,7 @@ void Experiment::build() {
     server::ApacheConfig ac = config_.apache;
     ac.link_latency = config_.link_latency;
     ac.probe = config_.probe;
+    ac.overload = config_.overload;
     // A probe-aware policy without a probe pool would silently run as
     // current_load for the whole experiment; force the pool on instead.
     if (lb::policy_uses_probes(config_.policy)) ac.probe.enabled = true;
@@ -139,6 +143,8 @@ void Experiment::build() {
   cp.sticky_sessions = config_.sticky_sessions;
   cp.bursty = config_.bursty_workload;
   cp.burst_multiplier = config_.burst_multiplier;
+  if (config_.overload.stamp_deadlines)
+    cp.deadline_budget = config_.overload.deadline_budget;
   std::vector<proto::FrontEnd*> fes;
   for (auto& a : apaches_) fes.push_back(a.get());
   clients_ = std::make_unique<workload::ClientPopulation>(sim_, cp, workload_,

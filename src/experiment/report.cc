@@ -115,6 +115,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       o.full = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      o.quick = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       o.csv_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {

@@ -47,6 +47,9 @@ void write_series_csv(const std::string& path, sim::SimTime window,
 /// whose rows and JSON carry mean ± 95% CI columns.
 struct BenchOptions {
   bool full = false;
+  /// `--quick`: shrink each run for CI smoke jobs (shorter duration; benches
+  /// may also skip their most expensive cells).
+  bool quick = false;
   std::string csv_dir;
   std::uint64_t seed = 42;
   std::string program;     // argv[0] basename, stamped into JSON rows

@@ -21,6 +21,25 @@ RunSummary summarize(Experiment& e) {
   s.dropped = e.clients().dropped();
   s.balancer_errors = e.clients().failed();
   s.connection_drops = e.clients().connection_drops();
+  s.completed_within_deadline = log.completed_within_deadline();
+  s.missed_deadline = log.missed_deadline();
+  const double measured_s = (cfg.duration - cfg.warmup).to_seconds();
+  s.goodput_rps = measured_s > 0
+                      ? static_cast<double>(s.completed_within_deadline) /
+                            measured_s
+                      : 0.0;
+  control::OverloadStats ostats;
+  for (int i = 0; i < e.num_apaches(); ++i) ostats += e.apache(i).overload_stats();
+  for (int i = 0; i < e.num_tomcats(); ++i) {
+    ostats += e.tomcat(i).overload_stats();
+    ostats += e.db_router(i).overload_stats();
+  }
+  s.admission_sheds = ostats.admission_sheds;
+  s.brownout_sheds = ostats.brownout_sheds;
+  s.deadline_sheds = ostats.deadline_sheds;
+  s.sojourn_sheds = ostats.sojourn_sheds;
+  s.wasted_work_avoided_ms = ostats.wasted_work_avoided_ms;
+  s.shed_retries = e.clients().shed_retries();
   s.mean_rt_ms = log.mean_response_ms();
   s.p50_ms = log.percentile_ms(50);
   s.p99_ms = log.percentile_ms(99);
@@ -76,6 +95,16 @@ void RunSummary::to_json(std::ostream& os) const {
   field(os, "dropped", static_cast<double>(dropped));
   field(os, "balancer_errors", static_cast<double>(balancer_errors));
   field(os, "connection_drops", static_cast<double>(connection_drops));
+  field(os, "goodput_rps", goodput_rps);
+  field(os, "completed_within_deadline",
+        static_cast<double>(completed_within_deadline));
+  field(os, "missed_deadline", static_cast<double>(missed_deadline));
+  field(os, "admission_sheds", static_cast<double>(admission_sheds));
+  field(os, "brownout_sheds", static_cast<double>(brownout_sheds));
+  field(os, "deadline_sheds", static_cast<double>(deadline_sheds));
+  field(os, "sojourn_sheds", static_cast<double>(sojourn_sheds));
+  field(os, "wasted_work_avoided_ms", wasted_work_avoided_ms);
+  field(os, "shed_retries", static_cast<double>(shed_retries));
   field(os, "mean_rt_ms", mean_rt_ms);
   field(os, "p50_ms", p50_ms);
   field(os, "p99_ms", p99_ms);

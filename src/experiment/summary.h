@@ -22,6 +22,22 @@ struct RunSummary {
   std::uint64_t balancer_errors = 0;
   std::uint64_t connection_drops = 0;
 
+  // -- overload control (satellite: goodput + shed accounting) ---------------
+  /// Completions that met their deadline (all completions when no deadlines
+  /// were stamped), per second of measured (post-warmup) time.
+  double goodput_rps = 0;
+  std::int64_t completed_within_deadline = 0;
+  std::int64_t missed_deadline = 0;
+  std::uint64_t admission_sheds = 0;
+  std::uint64_t brownout_sheds = 0;
+  std::uint64_t deadline_sheds = 0;
+  std::uint64_t sojourn_sheds = 0;
+  /// Backend service demand *not* executed because expired work was shed
+  /// before reaching (or finishing on) the CPU.
+  double wasted_work_avoided_ms = 0;
+  /// Client-side re-attempts after a retriable admission/brownout 503.
+  std::uint64_t shed_retries = 0;
+
   double mean_rt_ms = 0;
   double p50_ms = 0;
   double p99_ms = 0;

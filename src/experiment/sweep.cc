@@ -71,6 +71,14 @@ void AggregateSummary::finalize() {
   p999_ms = stats([](const RunSummary& r) { return r.p999_ms; });
   vlrt_fraction = stats([](const RunSummary& r) { return r.vlrt_fraction; });
   normal_fraction = stats([](const RunSummary& r) { return r.normal_fraction; });
+  goodput_rps = stats([](const RunSummary& r) { return r.goodput_rps; });
+  total_sheds = stats([](const RunSummary& r) {
+    return r.admission_sheds + r.brownout_sheds + r.deadline_sheds +
+           r.sojourn_sheds;
+  });
+  deadline_sheds = stats([](const RunSummary& r) { return r.deadline_sheds; });
+  wasted_work_avoided_ms =
+      stats([](const RunSummary& r) { return r.wasted_work_avoided_ms; });
 }
 
 AggregateSummary AggregateSummary::merge(AggregateSummary a,
@@ -119,7 +127,12 @@ void AggregateSummary::to_json(std::ostream& os) const {
   json_stats(os, "p99_ms", p99_ms);
   json_stats(os, "p999_ms", p999_ms);
   json_stats(os, "vlrt_fraction", vlrt_fraction);
-  json_stats(os, "normal_fraction", normal_fraction, /*comma=*/false);
+  json_stats(os, "normal_fraction", normal_fraction);
+  json_stats(os, "goodput_rps", goodput_rps);
+  json_stats(os, "total_sheds", total_sheds);
+  json_stats(os, "deadline_sheds", deadline_sheds);
+  json_stats(os, "wasted_work_avoided_ms", wasted_work_avoided_ms,
+             /*comma=*/false);
   os << "  },\n";
   os << "  \"pooled\": {\"completed\": " << pooled.count()
      << ", \"mean_ms\": " << pooled_mean_ms()
@@ -167,19 +180,27 @@ void AggregateSummary::to_csv(std::ostream& os) const {
   row("p999_ms", p999_ms);
   row("vlrt_fraction", vlrt_fraction);
   row("normal_fraction", normal_fraction);
+  row("goodput_rps", goodput_rps);
+  row("total_sheds", total_sheds);
+  row("deadline_sheds", deadline_sheds);
+  row("wasted_work_avoided_ms", wasted_work_avoided_ms);
 }
 
 void AggregateSummary::per_run_csv(std::ostream& os) const {
   os << std::setprecision(10);
   os << "run,seed,completed,dropped,balancer_errors,connection_drops,"
-        "mean_rt_ms,p50_ms,p99_ms,p999_ms,vlrt_fraction,normal_fraction\n";
+        "mean_rt_ms,p50_ms,p99_ms,p999_ms,vlrt_fraction,normal_fraction,"
+        "goodput_rps,total_sheds,deadline_sheds,wasted_work_avoided_ms\n";
   for (std::size_t i = 0; i < per_run.size(); ++i) {
     const RunSummary& r = per_run[i];
     os << i << ',' << (i < run_seeds.size() ? run_seeds[i] : 0) << ','
        << r.completed << ',' << r.dropped << ',' << r.balancer_errors << ','
        << r.connection_drops << ',' << r.mean_rt_ms << ',' << r.p50_ms << ','
        << r.p99_ms << ',' << r.p999_ms << ',' << r.vlrt_fraction << ','
-       << r.normal_fraction << '\n';
+       << r.normal_fraction << ',' << r.goodput_rps << ','
+       << (r.admission_sheds + r.brownout_sheds + r.deadline_sheds +
+           r.sojourn_sheds)
+       << ',' << r.deadline_sheds << ',' << r.wasted_work_avoided_ms << '\n';
   }
 }
 

@@ -64,6 +64,8 @@ struct AggregateSummary {
   MetricStats completed, dropped, balancer_errors, connection_drops;
   MetricStats mean_rt_ms, p50_ms, p99_ms, p999_ms;
   MetricStats vlrt_fraction, normal_fraction;
+  // Overload control (zero across the board when no mode is active).
+  MetricStats goodput_rps, total_sheds, deadline_sheds, wasted_work_avoided_ms;
 
   // -- pooled-distribution aggregates ----------------------------------------
   double pooled_mean_ms() const { return pooled.mean(); }

@@ -39,7 +39,10 @@ void LatencyBreakdown::add(const RequestRecord& rec) {
   }
   if (rec.outcome == RequestOutcome::kBalancerError) {
     ++balancer_errors_;
-    ++errored_in_[static_cast<std::size_t>(furthest_segment(rec))];
+    const auto seg = static_cast<std::size_t>(furthest_segment(rec));
+    ++errored_in_[seg];
+    if (rec.shed != proto::ShedReason::kNone)
+      ++shed_in_[seg][static_cast<std::size_t>(rec.shed)];
     ++skipped_;
     return;
   }
@@ -94,6 +97,32 @@ void LatencyBreakdown::print(std::ostream& os) const {
       if (errored_in(seg) > 0)
         os << " " << errored_in(seg) << " balancer errors";
       os << "\n";
+    }
+    // Drop-reason attribution: which of those were deliberate overload
+    // sheds (answered 503s) rather than silent overflow drops.
+    static constexpr proto::ShedReason kReasons[] = {
+        proto::ShedReason::kAdmission, proto::ShedReason::kBrownout,
+        proto::ShedReason::kDeadlineExpired, proto::ShedReason::kSojourn};
+    std::int64_t total_sheds = 0;
+    for (auto r : kReasons) total_sheds += sheds(r);
+    if (total_sheds > 0) {
+      os << "  shed by overload control: " << total_sheds << " (";
+      bool first = true;
+      for (auto r : kReasons) {
+        if (sheds(r) == 0) continue;
+        if (!first) os << ", ";
+        os << sheds(r) << " " << proto::to_string(r);
+        first = false;
+      }
+      os << ")\n";
+      for (int s = 0; s < kNumSegments; ++s) {
+        const auto seg = static_cast<Segment>(s);
+        std::int64_t in_seg = 0;
+        for (auto r : kReasons) in_seg += shed_in(seg, r);
+        if (in_seg == 0) continue;
+        os << "    shed in " << std::left << std::setw(30) << segment_name(seg)
+           << std::right << " " << in_seg << "\n";
+      }
     }
   }
 }

@@ -52,6 +52,19 @@ class LatencyBreakdown {
   std::int64_t errored_in(Segment s) const {
     return errored_in_[static_cast<std::size_t>(s)];
   }
+  /// Drop-reason attribution: terminal overload-layer sheds (a subset of
+  /// the balancer errors above) by reason, per the furthest segment the
+  /// request reached. Overflow drops (silent SYN drops) remain in
+  /// dropped_in(); sheds are answered 503s and are broken out here.
+  std::int64_t shed_in(Segment s, proto::ShedReason r) const {
+    return shed_in_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)];
+  }
+  std::int64_t sheds(proto::ShedReason r) const {
+    std::int64_t total = 0;
+    for (int s = 0; s < kNumSegments; ++s)
+      total += shed_in(static_cast<Segment>(s), r);
+    return total;
+  }
 
   double mean_ms(Segment s) const { return hist(s).mean(); }
   double p99_ms(Segment s) const { return hist(s).percentile(99); }
@@ -72,6 +85,7 @@ class LatencyBreakdown {
   std::int64_t balancer_errors_ = 0;
   std::array<std::int64_t, kNumSegments> dropped_in_{};
   std::array<std::int64_t, kNumSegments> errored_in_{};
+  std::array<std::array<std::int64_t, 5>, kNumSegments> shed_in_{};
 };
 
 }  // namespace ntier::metrics

@@ -6,6 +6,9 @@ namespace ntier::metrics {
 
 void RequestLog::on_complete(const RequestRecord& r) {
   retransmissions_ += r.retransmissions;
+  if (r.within_deadline()) ++within_deadline_;
+  if (r.shed != proto::ShedReason::kNone)
+    ++sheds_[static_cast<std::size_t>(r.shed)];
   switch (r.outcome) {
     case RequestOutcome::kDropped:
       ++dropped_;
@@ -36,12 +39,15 @@ std::string RequestLog::summary_row(const std::string& label) const {
 }
 
 void RequestLog::to_csv(std::ostream& os) const {
-  os << "id,interaction,apache,tomcat,retransmissions,outcome,start_s,end_s,rt_ms\n";
+  os << "id,interaction,apache,tomcat,retransmissions,outcome,start_s,end_s,"
+        "rt_ms,priority,shed,deadline_met\n";
   for (const auto& r : records_) {
     os << r.id << ',' << r.interaction << ',' << r.apache << ',' << r.tomcat
        << ',' << static_cast<int>(r.retransmissions) << ','
        << static_cast<int>(r.outcome) << ',' << r.start.to_seconds() << ','
-       << r.end.to_seconds() << ',' << r.response_ms() << '\n';
+       << r.end.to_seconds() << ',' << r.response_ms() << ','
+       << static_cast<int>(r.priority) << ',' << proto::to_string(r.shed)
+       << ',' << (r.within_deadline() ? 1 : 0) << '\n';
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <ostream>
@@ -8,6 +9,7 @@
 
 #include "metrics/histogram.h"
 #include "metrics/time_series.h"
+#include "proto/request.h"
 #include "sim/time.h"
 
 namespace ntier::metrics {
@@ -34,8 +36,19 @@ struct RequestRecord {
   sim::SimTime accepted_at;        // Apache worker picked it up
   sim::SimTime assigned_at;        // balancer yielded an endpoint
   sim::SimTime backend_done_at;    // backend response back at the Apache
+  // Overload control: the stamped absolute deadline (zero = none), the
+  // priority class, and which tier (if any) shed the request.
+  sim::SimTime deadline;
+  std::uint8_t priority = 1;
+  proto::ShedReason shed = proto::ShedReason::kNone;
 
   double response_ms() const { return (end - start).to_millis(); }
+  /// Goodput criterion: completed, and within the deadline when one was
+  /// stamped (an un-deadlined completion always counts).
+  bool within_deadline() const {
+    return outcome == RequestOutcome::kOk &&
+           (deadline == sim::SimTime::zero() || end <= deadline);
+  }
 };
 
 /// Client-side bookkeeping for a whole run: latency histogram, point-in-time
@@ -61,6 +74,23 @@ class RequestLog {
   std::int64_t dropped() const { return dropped_; }
   std::int64_t balancer_errors() const { return balancer_errors_; }
   std::int64_t total_retransmissions() const { return retransmissions_; }
+  /// Completions that met their deadline (== completed() when no deadlines
+  /// were stamped) — the numerator of goodput.
+  std::int64_t completed_within_deadline() const { return within_deadline_; }
+  /// Completions that arrived after their stamped deadline.
+  std::int64_t missed_deadline() const {
+    return completed() - within_deadline_;
+  }
+  /// Requests whose terminal outcome was a shed by the overload layer,
+  /// by reason (kNone slot unused).
+  std::int64_t shed_count(proto::ShedReason r) const {
+    return sheds_[static_cast<std::size_t>(r)];
+  }
+  std::int64_t total_sheds() const {
+    std::int64_t total = 0;
+    for (auto s : sheds_) total += s;
+    return total;
+  }
 
   double mean_response_ms() const { return histogram_.mean(); }
   double percentile_ms(double p) const { return histogram_.percentile(p); }
@@ -91,6 +121,8 @@ class RequestLog {
   std::int64_t dropped_ = 0;
   std::int64_t balancer_errors_ = 0;
   std::int64_t retransmissions_ = 0;
+  std::int64_t within_deadline_ = 0;
+  std::array<std::int64_t, 5> sheds_{};  // indexed by proto::ShedReason
 };
 
 }  // namespace ntier::metrics

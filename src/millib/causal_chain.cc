@@ -85,6 +85,7 @@ CausalChainReport CausalChainAnalyzer::analyze(
   std::map<std::pair<int, int>, std::vector<SimTime>>
       lb_updates;  // (balancer node, worker) -> update times
   std::vector<std::pair<SimTime, std::uint64_t>> retransmits;
+  std::vector<SimTime> shed_times;
   std::unordered_map<std::uint64_t, ReqState> reqs;
   // Committed queue per Tomcat, rebuilt from balancer-side deltas.
   std::map<int, metrics::GaugeSeries> committed;
@@ -131,6 +132,17 @@ CausalChainReport CausalChainAnalyzer::analyze(
       case EventKind::kSynRetransmit:
         retransmits.emplace_back(e.at, e.request);
         reqs[e.request].retransmits.push_back(e.at);
+        break;
+      case EventKind::kAdmissionShed:
+        ++report.admission_shed_events;
+        shed_times.push_back(e.at);
+        break;
+      case EventKind::kDeadlineExpired:
+        ++report.deadline_shed_events;
+        shed_times.push_back(e.at);
+        break;
+      case EventKind::kLimitUpdate:
+        ++report.limit_updates;
         break;
       case EventKind::kClientSend:
         reqs[e.request].send = std::min(reqs[e.request].send, e.at);
@@ -257,6 +269,13 @@ CausalChainReport CausalChainAnalyzer::analyze(
       ++c.retransmits.count;
       c.retransmits.magnitude = static_cast<double>(c.retransmits.count);
     }
+    for (const SimTime at : shed_times) {
+      if (at < lo || at > hi) continue;
+      if (!c.sheds.present) c.sheds.lag_ms = (at - c.start).to_millis();
+      c.sheds.present = true;
+      ++c.sheds.count;
+      c.sheds.magnitude = static_cast<double>(c.sheds.count);
+    }
   }
 
   // ---- VLRT attribution -----------------------------------------------------
@@ -358,8 +377,18 @@ void CausalChainReport::print(std::ostream& os) const {
     print_link(os, "frozen lb_value", c.frozen_lb, "gap_ms");
     print_link(os, "queue spike", c.queue_spike, "peak");
     print_link(os, "syn retransmits", c.retransmits, "count");
+    if (c.sheds.present) print_link(os, "overload sheds", c.sheds, "count");
     std::snprintf(buf, sizeof buf, "    %-18s %llu attributed\n", "vlrts",
                   static_cast<unsigned long long>(c.vlrts));
+    os << buf;
+  }
+  if (admission_shed_events || deadline_shed_events || limit_updates) {
+    std::snprintf(buf, sizeof buf,
+                  "overload control: %llu admission sheds, %llu expired-work "
+                  "sheds, %llu limit updates\n",
+                  static_cast<unsigned long long>(admission_shed_events),
+                  static_cast<unsigned long long>(deadline_shed_events),
+                  static_cast<unsigned long long>(limit_updates));
     os << buf;
   }
   std::array<std::uint64_t, 4> by_hop{};
@@ -394,7 +423,10 @@ void json_link(std::ostream& os, const char* name, const ChainLink& l,
 void CausalChainReport::to_json(std::ostream& os) const {
   os << "{\"events\":" << events << ",\"requests\":" << requests
      << ",\"full_chains\":" << full_chains()
-     << ",\"coverage\":" << coverage() << ",\"episodes\":[";
+     << ",\"coverage\":" << coverage()
+     << ",\"admission_shed_events\":" << admission_shed_events
+     << ",\"deadline_shed_events\":" << deadline_shed_events
+     << ",\"limit_updates\":" << limit_updates << ",\"episodes\":[";
   for (std::size_t i = 0; i < chains.size(); ++i) {
     const EpisodeChain& c = chains[i];
     if (i) os << ",";
@@ -408,6 +440,7 @@ void CausalChainReport::to_json(std::ostream& os) const {
     json_link(os, "frozen_lb", c.frozen_lb);
     json_link(os, "queue_spike", c.queue_spike);
     json_link(os, "retransmits", c.retransmits);
+    json_link(os, "sheds", c.sheds);
     os << "\"vlrts\":" << c.vlrts << "}";
   }
   os << "],\"vlrt\":[";

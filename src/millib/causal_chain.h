@@ -70,6 +70,11 @@ struct EpisodeChain {
   ChainLink frozen_lb;
   ChainLink queue_spike;
   ChainLink retransmits;
+  /// Overload-control sheds (admission_shed / deadline_expired events) fired
+  /// while the episode — plus slack — was in progress: the counter-measures
+  /// reacting to the stall. Not part of full_chain(): sheds only exist when
+  /// a controller is configured.
+  ChainLink sheds;
   /// VLRT requests attributed to this episode (filled by the analyzer).
   std::uint64_t vlrts = 0;
 
@@ -110,6 +115,12 @@ struct CausalChainReport {
   /// Events inspected / per-request joins, for sanity output.
   std::uint64_t events = 0;
   std::uint64_t requests = 0;
+  /// Overload-control activity over the whole trace (zero without a
+  /// configured controller): limiter/CoDel sheds, expired-work sheds, and
+  /// AIMD limit adaptations.
+  std::uint64_t admission_shed_events = 0;
+  std::uint64_t deadline_shed_events = 0;
+  std::uint64_t limit_updates = 0;
 
   std::uint64_t full_chains() const;
   std::uint64_t attributed() const;

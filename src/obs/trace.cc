@@ -29,6 +29,9 @@ const char* to_string(EventKind k) {
     case EventKind::kProbeSent: return "probe_sent";
     case EventKind::kProbeReply: return "probe_reply";
     case EventKind::kProbeExpired: return "probe_expired";
+    case EventKind::kAdmissionShed: return "admission_shed";
+    case EventKind::kDeadlineExpired: return "deadline_expired";
+    case EventKind::kLimitUpdate: return "limit_update";
   }
   return "?";
 }

@@ -52,6 +52,13 @@ enum class EventKind : std::uint8_t {
   kProbeReply,      // probe answered (value = probed RIF, aux = latency µs)
   kProbeExpired,    // pooled result dropped (value = age ms; aux: 1 = stale,
                     // 2 = reuse budget spent, 3 = probe timeout)
+  // -- overload control (appended to keep prior numeric values stable) ----------
+  kAdmissionShed,   // limiter/CoDel refused work (value = limiter limit,
+                    // aux = proto::ShedReason)
+  kDeadlineExpired, // expired work shed at a tier (value = overdue ms,
+                    // aux = proto::ShedReason)
+  kLimitUpdate,     // AIMD limit adapted (value = new limit, aux = +1
+                    // increase / -1 decrease)
 };
 
 const char* to_string(EventKind k);

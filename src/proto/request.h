@@ -7,6 +7,19 @@
 
 namespace ntier::proto {
 
+/// Why the overload-control layer refused or abandoned a request.
+/// kNone means the request was never shed. A shed request still gets a
+/// (failed) response, so client-side request conservation is unaffected;
+/// the reason rides along so every tier and the metrics layer can
+/// attribute the shed without widening RequestOutcome.
+enum class ShedReason : std::uint8_t {
+  kNone = 0,
+  kAdmission,        // admission limiter rejected at the door (retriable 503)
+  kBrownout,         // low-priority work rejected under brownout
+  kDeadlineExpired,  // deadline had already passed when the tier looked at it
+  kSojourn,          // CoDel sojourn-time drop while draining a standing queue
+};
+
 /// One client interaction travelling through the n-tier system. Demands are
 /// pre-drawn by the workload generator (so a request is reproducible and
 /// self-contained); servers consume them as the request traverses tiers.
@@ -40,7 +53,31 @@ struct Request {
   /// Sticky-session route (mod_jk jvmRoute): the Tomcat that owns this
   /// client's session, or -1 for a route-less request.
   std::int16_t session_route = -1;
+
+  // -- overload control ------------------------------------------------------
+  /// Absolute completion deadline (client budget added to client_start);
+  /// zero means "no deadline". Propagated unchanged through every tier, so
+  /// each hop sees the remaining budget as `deadline - now`.
+  sim::SimTime deadline;
+  /// Priority class: 0 = high (writes/logins), 1 = normal (views/browse),
+  /// 2 = low (searches, batch-ish reads). Brownout sheds high numbers first.
+  std::uint8_t priority = 1;
+  /// Set by whichever tier shed the request; cleared before a retry attempt.
+  ShedReason shed = ShedReason::kNone;
+  /// Client-side re-attempts after a retriable 503 (admission/brownout).
+  std::uint8_t shed_retries = 0;
 };
+
+inline const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kAdmission: return "admission";
+    case ShedReason::kBrownout: return "brownout";
+    case ShedReason::kDeadlineExpired: return "deadline_expired";
+    case ShedReason::kSojourn: return "sojourn";
+  }
+  return "?";
+}
 
 using RequestPtr = std::shared_ptr<Request>;
 

@@ -20,8 +20,16 @@ ApacheServer::ApacheServer(sim::Simulation& simu, os::Node& node, int id,
           simu, static_cast<int>(tomcats_.size()), std::move(policy),
           std::move(acquirer), lb_config)),
       backlog_(config.listen_backlog),
+      codel_(config.overload.codel_cfg),
       queue_trace_(trace_window) {
   assert(!tomcats_.empty());
+  if (config_.overload.admission) {
+    limiter_ = std::make_unique<control::AdmissionLimiter>(
+        simu, config_.overload.admission_cfg,
+        static_cast<double>(config_.max_clients + config_.listen_backlog),
+        config_.overload.brownout);
+    limiter_->start();
+  }
   if (config_.retry.enabled)
     retry_budget_ = std::make_unique<lb::RetryBudget>(
         config_.retry.budget_ratio, config_.retry.budget_burst);
@@ -69,12 +77,28 @@ ApacheServer::ApacheServer(sim::Simulation& simu, os::Node& node, int id,
 
 bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
   req->apache_id = static_cast<std::int16_t>(id_);
+  // Overload control at the accept path: shed already-expired work, then ask
+  // the admission limiter. Both answer the connection (a fast 503) instead
+  // of silently dropping the SYN, so the client does not retransmit into
+  // the stall.
+  if (config_.overload.deadlines && expired(req)) {
+    shed_unqueued(req, respond, proto::ShedReason::kDeadlineExpired,
+                  /*release_limiter=*/false);
+    return true;
+  }
+  if (limiter_ && !limiter_->try_admit(req->priority)) {
+    shed_unqueued(req, respond, limiter_->last_rejection(),
+                  /*release_limiter=*/false);
+    return true;
+  }
   if (workers_busy_ < config_.max_clients) {
+    if (limiter_) limiter_->observe_delay(sim::SimTime::zero());
     queue_trace_.set(sim_.now(), resident() + 1);
     start_worker(Work{req, std::move(respond)});
     return true;
   }
-  if (!backlog_.try_push(Work{req, std::move(respond)})) {
+  if (!backlog_.try_push(Work{req, std::move(respond)}, sim_.now())) {
+    if (limiter_) limiter_->release();
     NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kAcceptDrop,
                       obs::Tier::kApache, id_, -1, req->id,
                       static_cast<double>(backlog_.size()));
@@ -106,6 +130,12 @@ void ApacheServer::handle(Work w) {
 }
 
 void ApacheServer::dispatch(Work w, int attempt) {
+  // Deadline check before entering the balancer: work that can no longer
+  // finish in time is not worth an endpoint hunt.
+  if (config_.overload.deadlines && expired(w.req)) {
+    shed_worker(std::move(w), proto::ShedReason::kDeadlineExpired);
+    return;
+  }
   // Copy the request handle out before the capture moves `w` (argument
   // evaluation order is unspecified).
   auto r = w.req;
@@ -113,6 +143,14 @@ void ApacheServer::dispatch(Work w, int attempt) {
     if (idx < 0) {
       // mod_jk 503: no backend yielded an endpoint.
       maybe_retry(std::move(w), attempt);
+      return;
+    }
+    if (config_.overload.deadlines && expired(w.req)) {
+      // The blocking get_endpoint can park the worker for hundreds of ms —
+      // the deadline may have passed while we waited. Give the endpoint
+      // back and shed instead of forwarding stale work to the backend.
+      balancer_->on_response(idx, w.req);
+      shed_worker(std::move(w), proto::ShedReason::kDeadlineExpired);
       return;
     }
     w.req->tomcat_id = static_cast<std::int16_t>(idx);
@@ -134,17 +172,27 @@ void ApacheServer::dispatch(Work w, int attempt) {
                                          t->latency_ewma_ms());
                   }
                   if (attempt > 0) ++retry_successes_;
-                  finish(w, /*ok=*/true);
+                  // A backend tier may have shed the request mid-flight
+                  // (expired deadline at the Tomcat queue or DbRouter);
+                  // the response then carries the failure to the client.
+                  finish(w, /*ok=*/w.req->shed == proto::ShedReason::kNone);
                 });
               });
           if (!accepted) {
-            // The backend refused after the endpoint was acquired — connector
-            // backlog overflow, or a crashed Tomcat (a connect failure in
-            // mod_jk terms). Release the endpoint, feed the failure into the
-            // worker's Busy/Error escalation, and retry elsewhere if allowed.
             balancer_->on_response(idx, w.req);
-            balancer_->report_failure(idx);
-            maybe_retry(std::move(w), attempt);
+            if (w.req->shed == proto::ShedReason::kAdmission ||
+                w.req->shed == proto::ShedReason::kBrownout) {
+              // Explicit 503 from the backend's admission limiter: the
+              // Tomcat is alive and answering fast, so don't escalate the
+              // mod_jk Busy/Error state — just retry elsewhere if allowed.
+              maybe_retry(std::move(w), attempt);
+            } else {
+              // Connector backlog overflow or a crashed Tomcat (a connect
+              // failure in mod_jk terms). Feed the failure into the
+              // worker's Busy/Error escalation and retry elsewhere.
+              balancer_->report_failure(idx);
+              maybe_retry(std::move(w), attempt);
+            }
           }
         });
   });
@@ -152,10 +200,13 @@ void ApacheServer::dispatch(Work w, int attempt) {
 
 void ApacheServer::maybe_retry(Work w, int attempt) {
   const lb::RetryConfig& rc = config_.retry;
-  if (rc.enabled && attempt + 1 < rc.max_attempts &&
+  const bool dead = config_.overload.deadlines && expired(w.req);
+  if (!dead && rc.enabled && attempt + 1 < rc.max_attempts &&
       sim_.now() - w.req->accepted_at < rc.request_timeout &&
       retry_budget_->try_take()) {
     ++retries_;
+    // A backend shed from a previous attempt must not taint the retry.
+    w.req->shed = proto::ShedReason::kNone;
     sim_.after(rc.backoff(attempt), [this, w = std::move(w), attempt]() mutable {
       dispatch(std::move(w), attempt + 1);
     });
@@ -169,10 +220,81 @@ void ApacheServer::finish(const Work& w, bool ok) {
   ++served_;
   w.respond(w.req, ok);
   --workers_busy_;
-  if (auto next = backlog_.try_pop()) {
-    start_worker(std::move(*next));
-  }
+  if (limiter_) limiter_->release();
+  admit_from_backlog();
   queue_trace_.set(sim_.now(), resident());
+}
+
+void ApacheServer::admit_from_backlog() {
+  while (auto next = backlog_.try_pop_timed()) {
+    Work w = std::move(next->first);
+    const sim::SimTime enqueued = next->second;
+    if (config_.overload.deadlines && expired(w.req)) {
+      backlog_.count_drop(net::DropReason::kDeadline);
+      shed_unqueued(w.req, w.respond, proto::ShedReason::kDeadlineExpired,
+                    /*release_limiter=*/true);
+      continue;
+    }
+    // CoDel drains the standing queue a pdflush stall built up: once
+    // sojourn has exceeded target for a full interval, shed on dequeue with
+    // control-law spacing. High-priority work (priority 0) is never
+    // CoDel-shed — it waited, so it runs.
+    if (config_.overload.codel && w.req->priority > 0 &&
+        codel_.should_drop(enqueued, sim_.now())) {
+      backlog_.count_drop(net::DropReason::kSojourn);
+      shed_unqueued(w.req, w.respond, proto::ShedReason::kSojourn,
+                    /*release_limiter=*/true);
+      continue;
+    }
+    if (limiter_) limiter_->observe_delay(sim_.now() - enqueued);
+    start_worker(std::move(w));
+    return;
+  }
+}
+
+void ApacheServer::shed_unqueued(const proto::RequestPtr& req,
+                                 const RespondFn& respond,
+                                 proto::ShedReason reason,
+                                 bool release_limiter) {
+  if (release_limiter && limiter_) limiter_->release();
+  count_shed(req, reason, /*include_apache_demand=*/true);
+  respond(req, /*ok=*/false);
+}
+
+void ApacheServer::shed_worker(Work w, proto::ShedReason reason) {
+  count_shed(w.req, reason, /*include_apache_demand=*/false);
+  finish(w, /*ok=*/false);
+}
+
+void ApacheServer::count_shed(const proto::RequestPtr& req,
+                              proto::ShedReason reason,
+                              bool include_apache_demand) {
+  req->shed = reason;
+  // Backend service demand this shed avoided burning during the overload.
+  double avoided_ms = req->tomcat_demand.to_millis() +
+                      static_cast<double>(req->db_queries) *
+                          req->mysql_demand.to_millis();
+  if (include_apache_demand) avoided_ms += req->apache_demand.to_millis();
+  ostats_.wasted_work_avoided_ms += avoided_ms;
+  switch (reason) {
+    case proto::ShedReason::kAdmission: ++ostats_.admission_sheds; break;
+    case proto::ShedReason::kBrownout: ++ostats_.brownout_sheds; break;
+    case proto::ShedReason::kDeadlineExpired: ++ostats_.deadline_sheds; break;
+    case proto::ShedReason::kSojourn: ++ostats_.sojourn_sheds; break;
+    case proto::ShedReason::kNone: break;
+  }
+  if (reason == proto::ShedReason::kDeadlineExpired) {
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(),
+                      obs::EventKind::kDeadlineExpired, obs::Tier::kApache,
+                      id_, -1, req->id,
+                      (sim_.now() - req->deadline).to_millis(),
+                      static_cast<std::int32_t>(reason));
+  } else {
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(),
+                      obs::EventKind::kAdmissionShed, obs::Tier::kApache, id_,
+                      -1, req->id, limiter_ ? limiter_->limit() : 0.0,
+                      static_cast<std::int32_t>(reason));
+  }
 }
 
 }  // namespace ntier::server

@@ -4,6 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "control/admission.h"
+#include "control/codel.h"
+#include "control/overload.h"
 #include "lb/health.h"
 #include "lb/load_balancer.h"
 #include "lb/retry.h"
@@ -42,6 +45,10 @@ struct ApacheConfig {
   /// probe-aware policies (kPowerOfD, kPrequal) consume the pool; for every
   /// other policy an enabled pool just generates ignored probe traffic.
   probe::ProbeConfig probe;
+  /// End-to-end overload control (src/control): deadline shedding at accept
+  /// and endpoint-wait, an AIMD admission limiter at the front door, and
+  /// CoDel sojourn drops on the listen backlog (all off by default).
+  control::OverloadConfig overload;
 };
 
 /// Web tier front-end. Accepts client connections into a bounded backlog,
@@ -75,8 +82,19 @@ class ApacheServer final : public proto::FrontEnd {
   void finish_traces() { queue_trace_.finish(sim_.now()); }
 
   std::uint64_t served() const { return served_; }
-  std::uint64_t syn_drops() const { return backlog_.drops(); }
+  std::uint64_t syn_drops() const {
+    return backlog_.drops(net::DropReason::kOverflow);
+  }
   int workers_busy() const { return workers_busy_; }
+
+  /// Shed/expired accounting for this Apache (see control::OverloadStats).
+  const control::OverloadStats& overload_stats() const { return ostats_; }
+  /// Null unless ApacheConfig::overload.admission.
+  const control::AdmissionLimiter* limiter() const { return limiter_.get(); }
+  /// Backlog drops by reason (overflow vs the overload layer's sheds).
+  std::uint64_t backlog_drops(net::DropReason r) const {
+    return backlog_.drops(r);
+  }
 
   /// Null unless ApacheConfig::prober.enabled.
   const lb::HealthProber* prober() const { return prober_.get(); }
@@ -97,6 +115,7 @@ class ApacheServer final : public proto::FrontEnd {
     trace_events_ = trace;
     balancer_->set_trace(trace, id_);
     if (probe_pool_) probe_pool_->set_trace(trace, id_);
+    if (limiter_) limiter_->set_trace(trace, obs::Tier::kApache, id_);
   }
 
  private:
@@ -109,6 +128,22 @@ class ApacheServer final : public proto::FrontEnd {
   void dispatch(Work w, int attempt);
   void maybe_retry(Work w, int attempt);
   void finish(const Work& w, bool ok);
+  /// Pop the backlog until a request survives the overload checks (deadline,
+  /// CoDel sojourn) and start a worker on it.
+  void admit_from_backlog();
+  /// True when the request carries a deadline that has already passed.
+  bool expired(const proto::RequestPtr& req) const {
+    return req->deadline != sim::SimTime::zero() && sim_.now() > req->deadline;
+  }
+  /// Shed before any worker was involved (front door / backlog): a failed
+  /// response without touching worker accounting.
+  void shed_unqueued(const proto::RequestPtr& req, const RespondFn& respond,
+                     proto::ShedReason reason, bool release_limiter);
+  /// Shed while a worker holds the request (endpoint wait): goes through
+  /// finish() so worker/limiter/backlog accounting stays intact.
+  void shed_worker(Work w, proto::ShedReason reason);
+  void count_shed(const proto::RequestPtr& req, proto::ShedReason reason,
+                  bool include_apache_demand);
 
   sim::Simulation& sim_;
   os::Node& node_;
@@ -122,6 +157,9 @@ class ApacheServer final : public proto::FrontEnd {
   std::unique_ptr<probe::ProbePool> probe_pool_;
 
   net::BoundedQueue<Work> backlog_;
+  std::unique_ptr<control::AdmissionLimiter> limiter_;
+  control::CoDelController codel_;
+  control::OverloadStats ostats_;
   int workers_busy_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t retries_ = 0;

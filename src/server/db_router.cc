@@ -39,6 +39,17 @@ DbRouter::DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
 
 void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
                      std::function<void()> done) {
+  if (config_.overload.deadlines && req->deadline != sim::SimTime::zero() &&
+      sim_.now() > req->deadline) {
+    // The request can no longer finish in time; executing this query (and
+    // holding a pooled connection through a possibly-stalled replica) would
+    // be pure wasted work. Surface a fast SQL error instead.
+    req->shed = proto::ShedReason::kDeadlineExpired;
+    ++ostats_.deadline_sheds;
+    ostats_.wasted_work_avoided_ms += demand.to_millis();
+    done();
+    return;
+  }
   balancer_->assign(req, [this, req, demand,
                           done = std::move(done)](int idx) mutable {
     if (idx < 0) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "control/overload.h"
 #include "lb/load_balancer.h"
 #include "net/link.h"
 #include "probe/probe_pool.h"
@@ -31,6 +32,10 @@ struct DbRouterConfig {
   /// Prequal-style load probing of the replicas, consumed only when
   /// `policy` is probe-aware (kPowerOfD / kPrequal).
   probe::ProbeConfig probe;
+  /// End-to-end overload control: with `deadlines` on, queries whose
+  /// request deadline has already passed return a SQL error immediately
+  /// instead of occupying a pooled connection.
+  control::OverloadConfig overload;
 };
 
 /// The Tomcat-to-MySQL connection layer: a connection pool per replica and
@@ -62,6 +67,8 @@ class DbRouter {
   const probe::ProbePool* probe_pool() const { return probe_pool_.get(); }
   std::uint64_t errors() const { return errors_; }
   std::uint64_t queries_routed() const { return routed_; }
+  /// Expired-query shed accounting (see control::OverloadStats).
+  const control::OverloadStats& overload_stats() const { return ostats_; }
 
  private:
   sim::Simulation& sim_;
@@ -72,6 +79,7 @@ class DbRouter {
   std::unique_ptr<probe::ProbePool> probe_pool_;
   std::uint64_t errors_ = 0;
   std::uint64_t routed_ = 0;
+  control::OverloadStats ostats_;
 };
 
 }  // namespace ntier::server

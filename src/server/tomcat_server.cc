@@ -11,15 +11,56 @@ TomcatServer::TomcatServer(sim::Simulation& simu, os::Node& node, int id,
       db_(db),
       config_(config),
       queue_trace_(trace_window),
-      completions_(trace_window) {}
+      completions_(trace_window) {
+  if (config_.overload.admission) {
+    limiter_ = std::make_unique<control::AdmissionLimiter>(
+        simu, config_.overload.admission_cfg,
+        static_cast<double>(config_.max_threads), config_.overload.brownout);
+    limiter_->start();
+  }
+}
 
 bool TomcatServer::submit(const proto::RequestPtr& req, RespondFn respond) {
   if (crashed_) {
     ++refused_while_crashed_;
     return false;
   }
+  if (config_.overload.deadlines && expired(req)) {
+    // Expired on arrival (the endpoint wait or the Apache→Tomcat link ate
+    // the budget): refuse instead of queueing stale work. The Apache sees
+    // the shed marker and fails the request without escalating mod_jk's
+    // error state.
+    req->shed = proto::ShedReason::kDeadlineExpired;
+    ++ostats_.deadline_sheds;
+    ostats_.wasted_work_avoided_ms +=
+        req->tomcat_demand.to_millis() +
+        static_cast<double>(req->db_queries) * req->mysql_demand.to_millis();
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(),
+                      obs::EventKind::kDeadlineExpired, obs::Tier::kTomcat,
+                      id_, -1, req->id,
+                      (sim_.now() - req->deadline).to_millis(),
+                      static_cast<std::int32_t>(req->shed));
+    return false;
+  }
+  if (limiter_ && !limiter_->try_admit(req->priority)) {
+    // Retriable 503: the limiter clamped down on observed pickup delay.
+    req->shed = limiter_->last_rejection();
+    if (req->shed == proto::ShedReason::kBrownout)
+      ++ostats_.brownout_sheds;
+    else
+      ++ostats_.admission_sheds;
+    ostats_.wasted_work_avoided_ms +=
+        req->tomcat_demand.to_millis() +
+        static_cast<double>(req->db_queries) * req->mysql_demand.to_millis();
+    NTIER_TRACE_EVENT(trace_events_, sim_.now(),
+                      obs::EventKind::kAdmissionShed, obs::Tier::kTomcat, id_,
+                      -1, req->id, limiter_->limit(),
+                      static_cast<std::int32_t>(req->shed));
+    return false;
+  }
   if (connector_queue_.size() >= config_.connector_backlog &&
       threads_busy_ >= config_.max_threads) {
+    if (limiter_) limiter_->release();
     ++connector_drops_;
     return false;
   }
@@ -61,6 +102,14 @@ void TomcatServer::dispatch() {
   while (threads_busy_ < config_.max_threads && !connector_queue_.empty()) {
     Work w = std::move(connector_queue_.front());
     connector_queue_.pop_front();
+    // Worker-queue shed: work whose deadline passed while it sat in the
+    // connector queue is answered (failed) without occupying a servlet
+    // thread or touching the DB tier.
+    if (config_.overload.deadlines && expired(w.req)) {
+      shed_queued(std::move(w), proto::ShedReason::kDeadlineExpired);
+      continue;
+    }
+    if (limiter_) limiter_->observe_delay(sim_.now() - w.arrived);
     ++threads_busy_;
     NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kServiceStart,
                       obs::Tier::kTomcat, id_, threads_busy_ - 1, w.req->id,
@@ -89,6 +138,14 @@ void TomcatServer::db_round_trips(const proto::RequestPtr& req, int remaining,
     done();
     return;
   }
+  if (req->shed != proto::ShedReason::kNone) {
+    // The DbRouter shed the request mid-sequence (expired deadline): skip
+    // the remaining queries and let the failure ride the normal response.
+    ostats_.wasted_work_avoided_ms +=
+        static_cast<double>(remaining) * req->mysql_demand.to_millis();
+    done();
+    return;
+  }
   // Each round trip checks a connection out of the router's pool and back
   // in, as the RUBBoS servlets do per query.
   db_.query(req, req->mysql_demand,
@@ -106,6 +163,7 @@ void TomcatServer::complete(const Work& w) {
     --threads_busy_;
     --resident_;
     ++served_;
+    if (limiter_) limiter_->release();
     // EWMA over submit→response latency; alpha 0.2 tracks a millibottleneck
     // within a handful of completions without jittering on single requests.
     const double lat_ms = (sim_.now() - w.arrived).to_seconds() * 1e3;
@@ -121,6 +179,22 @@ void TomcatServer::complete(const Work& w) {
     w.respond(w.req);
     dispatch();
   });
+}
+
+void TomcatServer::shed_queued(Work w, proto::ShedReason reason) {
+  --resident_;
+  if (limiter_) limiter_->release();
+  w.req->shed = reason;
+  ++ostats_.deadline_sheds;
+  ostats_.wasted_work_avoided_ms +=
+      w.req->tomcat_demand.to_millis() +
+      static_cast<double>(w.req->db_queries) * w.req->mysql_demand.to_millis();
+  NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kDeadlineExpired,
+                    obs::Tier::kTomcat, id_, -1, w.req->id,
+                    (sim_.now() - w.req->deadline).to_millis(),
+                    static_cast<std::int32_t>(reason));
+  queue_trace_.set(sim_.now(), resident_);
+  w.respond(w.req);
 }
 
 }  // namespace ntier::server

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
+#include "control/admission.h"
+#include "control/overload.h"
 #include "metrics/time_series.h"
 #include "obs/trace.h"
 #include "os/node.h"
@@ -23,6 +26,10 @@ struct TomcatConfig {
   /// the real CPU run queue, so a stalled CPU delays the answer past the
   /// prober's timeout.
   sim::SimTime probe_demand = sim::SimTime::micros(20);
+  /// End-to-end overload control: per-Tomcat AIMD admission limiter
+  /// (rejecting with a retriable 503 at submit) and expired-work shedding
+  /// at the worker-queue pickup (both off by default).
+  control::OverloadConfig overload;
 };
 
 /// Application tier. Each request: servlet CPU work, `db_queries` sequential
@@ -88,9 +95,17 @@ class TomcatServer {
   std::uint64_t connector_drops() const { return connector_drops_; }
   int threads_busy() const { return threads_busy_; }
 
+  /// Shed/expired accounting for this Tomcat (see control::OverloadStats).
+  const control::OverloadStats& overload_stats() const { return ostats_; }
+  /// Null unless TomcatConfig::overload.admission.
+  const control::AdmissionLimiter* limiter() const { return limiter_.get(); }
+
   /// Attach the cross-tier event collector (null disables). Emits backend
   /// queue / service start / service end events with tier=kTomcat, node=id.
-  void set_trace(obs::TraceCollector* trace) { trace_events_ = trace; }
+  void set_trace(obs::TraceCollector* trace) {
+    trace_events_ = trace;
+    if (limiter_) limiter_->set_trace(trace, obs::Tier::kTomcat, id_);
+  }
 
  private:
   struct Work {
@@ -103,6 +118,12 @@ class TomcatServer {
   void db_round_trips(const proto::RequestPtr& req, int remaining,
                       std::function<void()> done);
   void complete(const Work& w);
+  bool expired(const proto::RequestPtr& req) const {
+    return req->deadline != sim::SimTime::zero() && sim_.now() > req->deadline;
+  }
+  /// Shed a queued request at worker pickup: a failed response without
+  /// occupying a servlet thread or touching the DB tier.
+  void shed_queued(Work w, proto::ShedReason reason);
 
   sim::Simulation& sim_;
   os::Node& node_;
@@ -111,6 +132,8 @@ class TomcatServer {
   TomcatConfig config_;
 
   std::deque<Work> connector_queue_;
+  std::unique_ptr<control::AdmissionLimiter> limiter_;
+  control::OverloadStats ostats_;
   int threads_busy_ = 0;
   int resident_ = 0;
   bool crashed_ = false;

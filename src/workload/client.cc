@@ -57,6 +57,8 @@ void ClientPopulation::issue(std::uint16_t client) {
   if (!prev_.empty())
     prev_[client % prev_.size()] = static_cast<std::int16_t>(req->interaction);
   req->client_start = sim_.now();
+  if (params_.deadline_budget != sim::SimTime::zero())
+    req->deadline = req->client_start + params_.deadline_budget;
   req->apache_id = static_cast<std::int16_t>(client % frontends_.size());
   if (!routes_.empty())
     req->session_route = routes_[client % routes_.size()];
@@ -87,6 +89,31 @@ void ClientPopulation::attempt(std::uint16_t client,
         req, [this, client](const proto::RequestPtr& r, bool ok) {
           // Response travels back to the client.
           link_.deliver(sim_, [this, client, r, ok] {
+            // An admission/brownout 503 is explicitly retriable: back off
+            // and re-attempt (fresh connection) while the budget and the
+            // retry cap allow — unlike a silent SYN drop, the client knows
+            // immediately and never waits out a retransmission timer.
+            if (!ok && !quiesced_ &&
+                (r->shed == proto::ShedReason::kAdmission ||
+                 r->shed == proto::ShedReason::kBrownout) &&
+                static_cast<int>(r->shed_retries) < params_.shed_retry_limit &&
+                (r->deadline == sim::SimTime::zero() ||
+                 sim_.now() < r->deadline)) {
+              ++shed_retries_;
+              r->shed_retries = static_cast<std::uint8_t>(r->shed_retries + 1);
+              r->shed = proto::ShedReason::kNone;
+              // Reset the per-hop stamps so a later success decomposes as
+              // the attempt that actually served it.
+              r->accepted_at = r->assigned_at = r->backend_done_at =
+                  sim::SimTime::zero();
+              r->tomcat_id = -1;
+              const sim::SimTime backoff =
+                  params_.shed_retry_backoff *
+                  static_cast<std::int64_t>(r->shed_retries);
+              sim_.after(backoff,
+                         [this, client, r] { attempt(client, r, 0); });
+              return;
+            }
             finish(client, r,
                    ok ? metrics::RequestOutcome::kOk
                       : metrics::RequestOutcome::kBalancerError);
@@ -142,6 +169,9 @@ void ClientPopulation::finish(std::uint16_t client, const proto::RequestPtr& req
     rec.accepted_at = req->accepted_at;
     rec.assigned_at = req->assigned_at;
     rec.backend_done_at = req->backend_done_at;
+    rec.deadline = req->deadline;
+    rec.priority = req->priority;
+    rec.shed = req->shed;
     log_.on_complete(rec);
   }
   think_then_next(client);

@@ -36,6 +36,13 @@ struct ClientParams {
   sim::SimTime burst_on_mean = sim::SimTime::millis(400);
   sim::SimTime burst_off_mean = sim::SimTime::seconds(4);
   double burst_multiplier = 4.0;
+  /// Overload control: response-time budget stamped as an absolute deadline
+  /// on every request (zero = no deadlines, the seed behaviour).
+  sim::SimTime deadline_budget;
+  /// A 503 from the admission limiter is retriable: the client backs off
+  /// and re-attempts up to this many times (while the deadline allows).
+  int shed_retry_limit = 2;
+  sim::SimTime shed_retry_backoff = sim::SimTime::millis(100);
 };
 
 /// The client tier: each client loops {think, pick interaction, connect —
@@ -87,6 +94,8 @@ class ClientPopulation {
     return issued_ - completed_ok_ - failed_ - dropped_;
   }
   std::uint64_t connection_drops() const { return connection_drops_; }
+  /// Client-side re-attempts after a retriable admission 503.
+  std::uint64_t shed_retries() const { return shed_retries_; }
   bool in_burst() const { return in_burst_; }
 
  private:
@@ -120,6 +129,7 @@ class ClientPopulation {
   std::uint64_t failed_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t connection_drops_ = 0;
+  std::uint64_t shed_retries_ = 0;
 };
 
 }  // namespace ntier::workload

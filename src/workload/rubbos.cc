@@ -8,6 +8,10 @@ std::string to_string(Mix m) {
   return m == Mix::kBrowseOnly ? "browse_only" : "read_write";
 }
 
+std::string to_string(PriorityMix p) {
+  return p == PriorityMix::kUniform ? "uniform" : "rubbos";
+}
+
 namespace {
 
 /// The 24 RUBBoS interactions. Weights follow the benchmark's transition
@@ -77,8 +81,23 @@ std::vector<std::vector<std::size_t>> build_successors() {
 
 }  // namespace
 
+namespace {
+
+/// Per-interaction brownout classes (indices follow build_table() order):
+/// the whole author/write path is high (0) — a shed there loses user work;
+/// searches and the archive page are low (2) — trivially retriable; the
+/// remaining browse/view pages are normal (1).
+void assign_priorities(std::vector<InteractionType>& table) {
+  for (std::size_t i = 12; i <= 23; ++i) table[i].priority = 0;  // author/write
+  table[4].priority = 2;                                         // OlderStories
+  for (std::size_t i = 7; i <= 10; ++i) table[i].priority = 2;   // searches
+}
+
+}  // namespace
+
 RubbosWorkload::RubbosWorkload(WorkloadParams params)
     : params_(params), table_(build_table()), successors_(build_successors()) {
+  if (params_.priority_mix == PriorityMix::kRubbos) assign_priorities(table_);
   weights_browse_.reserve(table_.size());
   weights_rw_.reserve(table_.size());
   for (const auto& t : table_) {
@@ -137,6 +156,7 @@ proto::RequestPtr RubbosWorkload::materialize(sim::Rng& rng, std::uint64_t id,
   req->request_bytes = it.request_bytes;
   req->response_bytes = it.response_bytes;
   req->log_bytes = it.log_bytes;
+  req->priority = it.priority;
   return req;
 }
 

@@ -26,11 +26,23 @@ struct InteractionType {
   std::uint32_t request_bytes = 500;
   std::uint32_t response_bytes = 8000;
   std::uint32_t log_bytes = 1200;   // access+servlet+localhost log volume
+  /// Brownout priority class: 0 = high (writes, logins, moderation — work a
+  /// user would lose), 1 = normal (views, browsing), 2 = low (searches and
+  /// archive pages — easy to retry, shed first under overload).
+  std::uint8_t priority = 1;
 };
 
 enum class Mix { kBrowseOnly, kReadWrite };
 
 std::string to_string(Mix m);
+
+/// How requests get their brownout priority class.
+enum class PriorityMix {
+  kUniform,  // everything normal priority (the seed behaviour)
+  kRubbos,   // per-interaction classes from the table above
+};
+
+std::string to_string(PriorityMix p);
 
 /// Workload-level tunables.
 struct WorkloadParams {
@@ -48,6 +60,9 @@ struct WorkloadParams {
   /// stationary mix exactly matches the weights.
   bool markov_sessions = false;
   double p_follow = 0.7;
+  /// Brownout priority stamping (consumed by the overload-control layer;
+  /// harmless when no limiter is active).
+  PriorityMix priority_mix = PriorityMix::kUniform;
 };
 
 /// Generator of RUBBoS interactions: owns the 24-entry interaction table and

@@ -68,6 +68,22 @@ TEST(ChaosMatrix, ResilienceLayerPreservesInvariants) {
   EXPECT_GT(probes, 0u);  // the prober really ran in the resilient cells
 }
 
+// Full overload control on top of the fault schedule: deadline, admission
+// and CoDel sheds are answered (fast 503s), never lost, so conservation and
+// the pool/crash invariants must hold in every cell exactly as before.
+TEST(ChaosMatrix, OverloadControlPreservesInvariants) {
+  auto opt = small_matrix();
+  opt.overload = control::OverloadMode::kFull;
+  opt.chaos_seed = 11;
+  const auto results = run_chaos_matrix(opt);
+  ASSERT_EQ(results.size(), 21u);
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.label);
+    EXPECT_TRUE(r.invariants.ok()) << r.invariants.to_string();
+    EXPECT_GT(r.invariants.completed, 0u);
+  }
+}
+
 // Satellite 4: identical seeds must give byte-identical runs — summary JSON
 // and the applied/cleared fault trace both match.
 TEST(ChaosDeterminism, IdenticalSeedsProduceIdenticalTraces) {

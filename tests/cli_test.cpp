@@ -75,6 +75,76 @@ TEST(Cli, EnvironmentFlags) {
   EXPECT_EQ(c.tomcat_stall_source, experiment::StallSource::kGcPause);
 }
 
+TEST(Cli, OverloadFlagsParse) {
+  const auto r = parse({"--overload", "full", "--deadline-ms", "500",
+                        "--priority-mix", "rubbos"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& ov = r.options->config.overload;
+  EXPECT_EQ(ov.mode, control::OverloadMode::kFull);
+  EXPECT_TRUE(ov.deadlines && ov.admission && ov.codel && ov.brownout);
+  EXPECT_TRUE(ov.stamp_deadlines);
+  EXPECT_EQ(ov.deadline_budget, sim::SimTime::millis(500));
+  EXPECT_EQ(r.options->config.workload.priority_mix,
+            workload::PriorityMix::kRubbos);
+}
+
+TEST(Cli, OverloadModeAloneDefaultsBudgetToOneSecond) {
+  const auto r = parse({"--overload", "deadline"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->config.overload.mode, control::OverloadMode::kDeadline);
+  EXPECT_EQ(r.options->config.overload.deadline_budget, sim::SimTime::seconds(1));
+}
+
+TEST(Cli, RejectsUnknownOverloadMode) {
+  const auto r = parse({"--overload", "everything"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown overload mode: everything"),
+            std::string::npos);
+  EXPECT_NE(r.error.find("none|deadline|admission|codel|full"),
+            std::string::npos);
+}
+
+TEST(Cli, RejectsNonPositiveDeadline) {
+  const auto r = parse({"--overload", "deadline", "--deadline-ms", "0"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("bad --deadline-ms"), std::string::npos);
+}
+
+TEST(Cli, RejectsDeadlineWithoutEnforcingMode) {
+  // --deadline-ms without any mode, and with a mode that ignores deadlines.
+  for (auto args : {std::vector<std::string>{"--deadline-ms", "500"},
+                    std::vector<std::string>{"--overload", "admission",
+                                             "--deadline-ms", "500"}}) {
+    const auto r = parse_cli(args);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(
+        r.error.find("--deadline-ms requires --overload deadline or "
+                     "--overload full"),
+        std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Cli, RejectsPriorityMixWithoutAdmission) {
+  for (auto args :
+       {std::vector<std::string>{"--priority-mix", "rubbos"},
+        std::vector<std::string>{"--overload", "deadline", "--priority-mix",
+                                 "rubbos"}}) {
+    const auto r = parse_cli(args);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find(
+                  "--priority-mix rubbos requires --overload admission"),
+              std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Cli, RejectsUnknownPriorityMix) {
+  const auto r = parse({"--overload", "admission", "--priority-mix", "fifo"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown priority mix: fifo"), std::string::npos);
+}
+
 TEST(Cli, OutputFlags) {
   const auto r = parse({"--json", "/tmp/x.json", "--csv", "/tmp/d", "--quiet"});
   ASSERT_TRUE(r.ok());

@@ -88,6 +88,23 @@ TEST(TraceIo, JsonlRoundTripPreservesEveryField) {
   }
 }
 
+// Every kind in the enum — including the newest additions at the tail —
+// must survive the serialise/parse round trip; parse_kind iterating up to a
+// stale "last kind" sentinel is exactly the regression this catches.
+TEST(TraceIo, EveryEventKindRoundTrips) {
+  TraceCollector trace;
+  const int last = static_cast<int>(EventKind::kLimitUpdate);
+  for (int k = 0; k <= last; ++k)
+    trace.push(make_event(k + 1, static_cast<EventKind>(k), 1));
+  std::ostringstream os;
+  write_jsonl(os, trace);
+  std::istringstream is(os.str());
+  const auto back = read_jsonl(is);
+  ASSERT_EQ(back.size(), static_cast<std::size_t>(last) + 1);
+  for (int k = 0; k <= last; ++k)
+    EXPECT_EQ(back[static_cast<std::size_t>(k)].kind, static_cast<EventKind>(k));
+}
+
 TEST(TraceIo, ReadRejectsMalformedLinesWithLineNumber) {
   std::istringstream is(
       "{\"t_ns\":1,\"kind\":\"client_send\",\"tier\":\"client\",\"node\":0,"

@@ -186,6 +186,29 @@ TEST(RetryBudget, TokenBucketDepositAndDenial) {
   EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);  // capped at burst
 }
 
+// Satellite: sustained 100% failure must not turn into a retry storm. With
+// ratio r, every arrival deposits r tokens and each retry costs one, so the
+// steady-state retry rate is bounded by r * arrival rate no matter how long
+// the outage lasts (plus the one-time burst allowance).
+TEST(RetryBudget, SustainedTotalFailureClampsRetryStorm) {
+  const double ratio = 0.2;
+  const double burst = 20.0;
+  RetryBudget budget(ratio, burst);
+  const int arrivals = 10'000;
+  std::uint64_t retries = 0;
+  for (int i = 0; i < arrivals; ++i) {
+    budget.deposit();            // the request arrives...
+    if (budget.try_take()) ++retries;  // ...fails, and asks for a retry
+  }
+  // Bounded by ratio * arrivals + the initial burst, not by arrivals.
+  EXPECT_LE(retries, static_cast<std::uint64_t>(ratio * arrivals + burst));
+  EXPECT_GE(retries, static_cast<std::uint64_t>(ratio * arrivals * 0.9));
+  EXPECT_EQ(budget.taken(), retries);
+  EXPECT_EQ(budget.denied(), static_cast<std::uint64_t>(arrivals) - retries);
+  // The bucket ends dry: each surviving token is immediately spent.
+  EXPECT_LT(budget.tokens(), 1.0);
+}
+
 TEST(RetryConfig, BackoffDoublesAndCaps) {
   RetryConfig rc;
   rc.base_backoff = SimTime::millis(20);
