@@ -71,6 +71,11 @@ inline void append_json_row(const BenchOptions& opt, Experiment& e,
         s.sojourn_sheds)
     << ",\"deadline_sheds\":" << s.deadline_sheds
     << ",\"wasted_work_avoided_ms\":" << s.wasted_work_avoided_ms
+    << ",\"kv_quorum_failed\":" << s.kv_quorum_failed
+    << ",\"kv_handoff_dropped\":" << s.kv_handoff_dropped
+    << ",\"kv_migration_shed\":" << s.kv_migration_shed
+    << ",\"kv_hints_replayed\":" << s.kv_hints_replayed
+    << ",\"kv_degraded_ms\":" << s.kv_degraded_ms
     << ",\"wall_ms\":" << wall_ms << "}\n";
 }
 

@@ -109,6 +109,18 @@ topology / scale
   --mysql N              database replicas            (default 1)
   --seed N               RNG seed                     (default 42)
 
+data tier
+  --db-tier T            mysql (default) | kv — replace the single-primary
+                         MySQL with the replicated sharded KV store (src/kv)
+  --kv CFG               KV topology/quorum as key=value pairs: replicas,
+                         shards, vnodes, n, r, w, hints
+                         (e.g. replicas=5,n=3,r=2,w=2; requires --db-tier kv)
+  --zipf-s X             Zipf skew of key popularity  (default 0.8)
+  --key-space N          distinct keys drawn by the workload
+                         (default 10000 in kv mode)
+  --kv-millibottlenecks  correlated injector stalls on n-r+1 members of the
+                         hot key's shard (quorum cannot mask the episode)
+
 policy & mechanism under test
   --policy P             total_request | total_traffic | current_load |
                          sessions | round_robin | random | two_choices |
@@ -185,6 +197,9 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
   control::OverloadMode overload_mode = control::OverloadMode::kNone;
   double deadline_ms = 0;    // 0 = not given
   bool priority_rubbos = false;
+  bool kv_config_set = false;
+  bool zipf_set = false;
+  bool key_space_set = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -226,6 +241,29 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (a == "--seed") {
       if (!value(v) || !parse_int(v, n) || n < 0) return fail("bad --seed");
       o.config.seed = static_cast<std::uint64_t>(n);
+    } else if (a == "--db-tier") {
+      if (!value(v)) return fail("missing --db-tier value");
+      server::DbTier tier;
+      if (!server::db_tier_from_string(v, &tier))
+        return fail("unknown db tier: " + v + " (expected mysql|kv)");
+      o.config.db_tier = tier;
+    } else if (a == "--kv") {
+      if (!value(v)) return fail("missing --kv value");
+      std::string err;
+      const auto kc = kv::kv_config_from_string(v, &err);
+      if (!kc) return fail("bad --kv: " + err);
+      o.config.kv = *kc;
+      kv_config_set = true;
+    } else if (a == "--zipf-s") {
+      if (!value(v) || !parse_double(v, x) || x < 0) return fail("bad --zipf-s");
+      o.config.workload.zipf_s = x;
+      zipf_set = true;
+    } else if (a == "--key-space") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --key-space");
+      o.config.workload.key_space = static_cast<std::uint64_t>(n);
+      key_space_set = true;
+    } else if (a == "--kv-millibottlenecks") {
+      o.config.kv_millibottlenecks = true;
     } else if (a == "--policy") {
       if (!value(v)) return fail("missing --policy value");
       const auto p = lb::policy_from_string(v);
@@ -336,6 +374,12 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     return fail(
         "--sweep-seeds cannot be combined with --record-trace, "
         "--replay-trace, or --trace (traces are per-run artifacts)");
+  if (o.config.db_tier != server::DbTier::kKv &&
+      (kv_config_set || zipf_set || key_space_set ||
+       o.config.kv_millibottlenecks))
+    return fail(
+        "--kv, --zipf-s, --key-space, and --kv-millibottlenecks require "
+        "--db-tier kv (the MySQL tier ignores key-level routing)");
   using control::OverloadMode;
   if (deadline_ms > 0 && (!overload_set ||
                           (overload_mode != OverloadMode::kDeadline &&
@@ -488,6 +532,19 @@ int run_cli(const CliOptions& options) {
                 << summary.wasted_work_avoided_ms
                 << " ms wasted work avoided\n";
     }
+    if (e.kv_tier()) {
+      const auto& ks = e.kv_tier()->stats();
+      std::cout << "kv tier: " << ks.quorum_reads << " quorum reads / "
+                << ks.quorum_writes << " quorum writes (mean wait "
+                << ks.mean_quorum_wait_ms() << " ms), failed "
+                << ks.quorum_failed_reads + ks.quorum_failed_writes
+                << " quorum / " << ks.handoff_dropped << " handoff / "
+                << ks.migration_shed << " migration-shed, hints "
+                << ks.hints_created << " created / " << ks.hints_replayed
+                << " replayed, " << ks.read_repairs
+                << " read repairs, degraded op time " << ks.degraded_wait_ms
+                << " ms\n";
+    }
     {
       std::uint64_t sent = 0, replies = 0, timeouts = 0, uses = 0;
       std::uint64_t piggybacked = 0;
@@ -572,6 +629,10 @@ int run_cli(const CliOptions& options) {
           options.csv_dir + "/tier_queues.csv", e.config().metric_window,
           {"apache", "tomcat", "mysql"},
           {e.apache_tier_queue(), e.tomcat_tier_queue(), e.mysql_tier_queue()});
+      if (e.kv_tier())
+        experiment::write_series_csv(options.csv_dir + "/kv_queue.csv",
+                                     e.config().metric_window, {"kv"},
+                                     {e.kv_tier_queue()});
       experiment::write_series_csv(
           options.csv_dir + "/vlrt.csv", e.config().metric_window, {"vlrt"},
           {experiment::series_count(e.log().vlrt_series(),

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/rng.h"
+
 namespace ntier::experiment {
 
 ChaosController::ChaosController(Experiment& exp, millib::FaultPlan plan)
@@ -85,6 +87,21 @@ void ChaosController::apply(std::size_t i) {
           std::max(0.05, st.saved_disk_factor * (1.0 - spec.severity)));
       break;
     }
+    case millib::FaultKind::kReplicaCrash: {
+      auto* kv = exp_.kv_tier();
+      if (!kv) break;  // MySQL-tier run: nothing to crash.
+      const int r =
+          spec.worker < 0 ? 0 : spec.worker % exp_.num_kv_replicas();
+      kv->on_replica_crashed(r);
+      break;
+    }
+    case millib::FaultKind::kShardMigration: {
+      auto* kv = exp_.kv_tier();
+      if (!kv) break;
+      const int s = spec.worker < 0 ? 0 : spec.worker % kv->num_shards();
+      kv->begin_migration(s, spec.duration, spec.severity);
+      break;
+    }
   }
   events_[i].applied = sim.now();
   ++applied_;
@@ -125,6 +142,19 @@ void ChaosController::clear(std::size_t i) {
           .disk()
           .set_rate_factor(st.saved_disk_factor);
       break;
+    case millib::FaultKind::kReplicaCrash:
+      if (auto* kv = exp_.kv_tier())
+        kv->on_replica_recovered(
+            spec.worker < 0 ? 0 : spec.worker % exp_.num_kv_replicas());
+      break;
+    case millib::FaultKind::kShardMigration:
+      // begin_migration schedules its own completion at spec.end(); this
+      // call is an idempotent backstop.
+      if (auto* kv = exp_.kv_tier())
+        kv->complete_migration(spec.worker < 0
+                                   ? 0
+                                   : spec.worker % kv->num_shards());
+      break;
   }
   events_[i].cleared = sim.now();
   ++cleared_;
@@ -149,6 +179,15 @@ std::string InvariantReport::to_string() const {
      << " waiting=" << pool_waiting << "); crash "
      << (crash_ok() ? "OK" : "VIOLATED")
      << " (crashed_accepts=" << crashed_accepts << ")";
+  if (kv_reads_issued + kv_writes_issued > 0 || !kv_ok()) {
+    os << "; kv " << (kv_ok() ? "OK" : "VIOLATED")
+       << " (reads=" << kv_reads_issued << "=" << kv_quorum_reads << "+"
+       << kv_quorum_failed_reads << " writes=" << kv_writes_issued << "="
+       << kv_quorum_writes << "+" << kv_quorum_failed_writes << "+"
+       << kv_migration_shed << " hints_pending=" << kv_hints_pending
+       << " crashed_dispatches=" << kv_crashed_dispatches
+       << " in_flight=" << kv_ops_in_flight << ")";
+  }
   return os.str();
 }
 
@@ -168,12 +207,27 @@ InvariantReport check_invariants(Experiment& e) {
     }
   }
   for (int t = 0; t < e.num_tomcats(); ++t) {
-    auto& lb = e.db_router(t).balancer();
-    for (int w = 0; w < lb.num_workers(); ++w) {
-      r.pool_in_use += lb.pool(w).in_use();
-      r.pool_waiting += lb.pool(w).waiting();
+    if (e.db_router(t).has_balancer()) {
+      auto& lb = e.db_router(t).balancer();
+      for (int w = 0; w < lb.num_workers(); ++w) {
+        r.pool_in_use += lb.pool(w).in_use();
+        r.pool_waiting += lb.pool(w).waiting();
+      }
     }
     r.crashed_accepts += e.tomcat(t).crashed_accepts();
+  }
+  if (const auto* kv = e.kv_tier()) {
+    const auto& s = kv->stats();
+    r.kv_reads_issued = s.reads_issued;
+    r.kv_quorum_reads = s.quorum_reads;
+    r.kv_quorum_failed_reads = s.quorum_failed_reads;
+    r.kv_writes_issued = s.writes_issued;
+    r.kv_quorum_writes = s.quorum_writes;
+    r.kv_quorum_failed_writes = s.quorum_failed_writes;
+    r.kv_migration_shed = s.migration_shed;
+    r.kv_hints_pending = s.hints_pending();
+    r.kv_crashed_dispatches = s.crashed_dispatches;
+    r.kv_ops_in_flight = kv->ops_in_flight();
   }
   return r;
 }
@@ -247,6 +301,93 @@ std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt) {
       if (opt.resilience) c.enable_resilience();
       if (opt.overload != control::OverloadMode::kNone)
         c.overload = control::make_overload(opt.overload);
+      results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));
+    }
+  }
+  return results;
+}
+
+millib::FaultPlan kv_matrix_plan(const KvChaosMatrixOptions& opt) {
+  // Hand-written, not randomized: the crashes must not overlap (so every
+  // shard keeps >= N-1 live members and the R=W=2 quorums never fail) and
+  // must recover before traffic ends (so hinted handoff replays while the
+  // run can still observe it). Spread crash targets and migration shards
+  // with the chaos seed so different seeds stress different ring positions.
+  const auto at = [&](double frac) {
+    return sim::SimTime::from_seconds(opt.traffic.to_seconds() * frac);
+  };
+  const int fleet = std::max(1, opt.kv_replicas);
+  const int r1 = static_cast<int>(sim::Rng::mix64(opt.chaos_seed) %
+                                  static_cast<std::uint64_t>(fleet));
+  const int r2 = (r1 + 1 + static_cast<int>(
+                               sim::Rng::mix64(opt.chaos_seed + 1) %
+                               static_cast<std::uint64_t>(fleet - 1 > 0
+                                                              ? fleet - 1
+                                                              : 1))) %
+                 fleet;
+
+  millib::FaultPlan plan;
+  millib::FaultSpec crash1;
+  crash1.kind = millib::FaultKind::kReplicaCrash;
+  crash1.worker = r1;
+  crash1.start = at(0.15);
+  crash1.duration = at(0.25) - at(0.15);
+  plan.specs.push_back(crash1);
+
+  millib::FaultSpec mig1;
+  mig1.kind = millib::FaultKind::kShardMigration;
+  mig1.worker = static_cast<int>(sim::Rng::mix64(opt.chaos_seed + 2) % 16);
+  mig1.start = at(0.30);
+  mig1.duration = at(0.50) - at(0.30);
+  mig1.severity = 1.0;
+  plan.specs.push_back(mig1);
+
+  millib::FaultSpec crash2;
+  crash2.kind = millib::FaultKind::kReplicaCrash;
+  crash2.worker = r2 == r1 ? (r1 + 1) % fleet : r2;
+  crash2.start = at(0.55);
+  crash2.duration = at(0.80) - at(0.55);
+  plan.specs.push_back(crash2);
+
+  millib::FaultSpec mig2;
+  mig2.kind = millib::FaultKind::kShardMigration;
+  mig2.worker = static_cast<int>(sim::Rng::mix64(opt.chaos_seed + 3) % 16);
+  mig2.start = at(0.70);
+  mig2.duration = at(0.85) - at(0.70);
+  mig2.severity = 0.5;
+  plan.specs.push_back(mig2);
+  return plan;
+}
+
+std::vector<ChaosRunResult> run_kv_chaos_matrix(
+    const KvChaosMatrixOptions& opt) {
+  static constexpr lb::PolicyKind kPolicies[] = {
+      lb::PolicyKind::kCurrentLoad, lb::PolicyKind::kRoundRobin,
+      lb::PolicyKind::kTwoChoices, lb::PolicyKind::kSourceHash};
+  static constexpr lb::MechanismKind kMechanisms[] = {
+      lb::MechanismKind::kBlocking, lb::MechanismKind::kQueueing};
+
+  const millib::FaultPlan plan = kv_matrix_plan(opt);
+  std::vector<ChaosRunResult> results;
+  for (auto policy : kPolicies) {
+    for (auto mechanism : kMechanisms) {
+      ExperimentConfig c;
+      c.label = "kv-chaos/" + lb::to_string(policy) + "/" +
+                lb::to_string(mechanism);
+      c.num_apaches = opt.num_apaches;
+      c.num_tomcats = opt.num_tomcats;
+      c.num_clients = opt.num_clients;
+      c.think_mean = opt.think_mean;
+      c.warmup = sim::SimTime::millis(500);
+      c.policy = policy;
+      c.mechanism = mechanism;
+      c.db_tier = server::DbTier::kKv;
+      c.kv.replicas = opt.kv_replicas;
+      // Organic millibottlenecks off: every disturbance comes from the plan,
+      // so a violated invariant is attributable.
+      c.tomcat_millibottlenecks = false;
+      c.tracing = false;
+      c.fault_plan = plan;
       results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));
     }
   }

@@ -24,6 +24,9 @@ namespace ntier::experiment {
 ///   kLinkFault   -> extra latency + loss on the client<->Apache link
 ///   kPoolLeak    -> slots acquired out of each balancer's pool and held
 ///   kDiskDegrade -> disk().set_rate_factor (longer writeback stalls)
+///   kReplicaCrash   -> KvTier::on_replica_crashed/on_replica_recovered
+///   kShardMigration -> KvTier::begin_migration/complete_migration
+/// The KV kinds are no-ops when the experiment runs the MySQL data tier.
 class ChaosController {
  public:
   ChaosController(Experiment& exp, millib::FaultPlan plan);
@@ -83,10 +86,35 @@ struct InvariantReport {
   // No crashed Tomcat ever accepted a request.
   std::uint64_t crashed_accepts = 0;
 
+  // KV write/read accounting (all zero when the run used the MySQL tier).
+  // Every issued op must resolve: quorum met, quorum failed, or (writes
+  // during a migration handover) shed — and every write replica missed while
+  // a replica was down must end up replayed via hinted handoff or counted as
+  // dropped, never silently lost.
+  std::uint64_t kv_reads_issued = 0;
+  std::uint64_t kv_quorum_reads = 0;
+  std::uint64_t kv_quorum_failed_reads = 0;
+  std::uint64_t kv_writes_issued = 0;
+  std::uint64_t kv_quorum_writes = 0;
+  std::uint64_t kv_quorum_failed_writes = 0;
+  std::uint64_t kv_migration_shed = 0;
+  std::uint64_t kv_hints_pending = 0;
+  std::uint64_t kv_crashed_dispatches = 0;
+  std::uint64_t kv_ops_in_flight = 0;
+
   bool conservation_ok() const { return in_flight == 0; }
   bool pools_ok() const { return pool_in_use == 0 && pool_waiting == 0; }
   bool crash_ok() const { return crashed_accepts == 0; }
-  bool ok() const { return conservation_ok() && pools_ok() && crash_ok(); }
+  bool kv_ok() const {
+    return kv_reads_issued == kv_quorum_reads + kv_quorum_failed_reads &&
+           kv_writes_issued ==
+               kv_quorum_writes + kv_quorum_failed_writes + kv_migration_shed &&
+           kv_hints_pending == 0 && kv_crashed_dispatches == 0 &&
+           kv_ops_in_flight == 0;
+  }
+  bool ok() const {
+    return conservation_ok() && pools_ok() && crash_ok() && kv_ok();
+  }
   std::string to_string() const;
 };
 
@@ -138,5 +166,31 @@ millib::FaultPlan matrix_plan(const ChaosMatrixOptions& opt);
 /// Run the seeded fault schedule against every policy (7) x mechanism (3)
 /// combination — 21 cells, same plan in each — and return per-cell results.
 std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt);
+
+/// One cell-sized configuration of the KV chaos matrix: same testbed shape
+/// as ChaosMatrixOptions, but the data tier is the replicated KV store and
+/// the plan exercises replica crashes and shard migrations.
+struct KvChaosMatrixOptions {
+  std::uint64_t chaos_seed = 1;
+  int num_apaches = 2;
+  int num_tomcats = 3;
+  /// KV fleet size (kv.replicas); quorum stays the N=3, R=W=2 default.
+  int kv_replicas = 5;
+  int num_clients = 400;
+  sim::SimTime think_mean = sim::SimTime::millis(200);
+  sim::SimTime traffic = sim::SimTime::seconds(10);
+  sim::SimTime drain = sim::SimTime::seconds(8);
+};
+
+/// Hand-written KV fault schedule: two non-overlapping replica crashes that
+/// both recover before traffic ends (so hinted handoff replays inside the
+/// run) plus two shard migrations. Non-overlapping crashes keep every shard
+/// at >= N-1 live members, so the R=W=2 quorums must never fail.
+millib::FaultPlan kv_matrix_plan(const KvChaosMatrixOptions& opt);
+
+/// Run the KV fault schedule against a policy x mechanism slice of the
+/// matrix with db_tier = kKv, and return per-cell results. Each cell's
+/// InvariantReport must satisfy kv_ok() in addition to the usual three.
+std::vector<ChaosRunResult> run_kv_chaos_matrix(const KvChaosMatrixOptions& opt);
 
 }  // namespace ntier::experiment

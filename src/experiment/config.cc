@@ -57,8 +57,12 @@ void ExperimentConfig::enable_resilience() {
 
 std::string describe(const ExperimentConfig& c) {
   std::ostringstream os;
-  os << c.label << ": " << c.num_apaches << "A/" << c.num_tomcats << "T/1M, "
-     << c.num_clients << " clients, think "
+  os << c.label << ": " << c.num_apaches << "A/" << c.num_tomcats << "T/";
+  if (c.db_tier == server::DbTier::kKv)
+    os << c.kv.replicas << "KV";
+  else
+    os << c.num_mysql << "M";
+  os << ", " << c.num_clients << " clients, think "
      << c.think_mean.to_string() << " (" << static_cast<int>(c.offered_rps())
      << " req/s), " << c.duration.to_string() << ", policy="
      << lb::to_string(c.policy) << ", mechanism=" << lb::to_string(c.mechanism)
@@ -68,7 +72,15 @@ std::string describe(const ExperimentConfig& c) {
              : "none")
      << (c.apache_millibottlenecks ? "+apache" : "")
      << (c.mysql_millibottlenecks ? "+mysql" : "");
-  if (c.num_mysql > 1) os << ", " << c.num_mysql << " DB replicas";
+  if (c.db_tier == server::DbTier::kMysql && c.num_mysql > 1)
+    os << ", " << c.num_mysql << " DB replicas";
+  if (c.db_tier == server::DbTier::kKv) {
+    os << ", kv(" << c.kv.to_string() << ")";
+    if (c.kv_millibottlenecks) os << "+hot-shard stalls";
+    if (c.workload.key_space > 0)
+      os << ", zipf(s=" << c.workload.zipf_s << ", keys="
+         << c.workload.key_space << ")";
+  }
   if (c.sticky_sessions) os << ", sticky";
   if (c.bursty_workload) os << ", bursty";
   if (c.apache.prober.enabled || c.balancer.breaker.enabled ||

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "control/overload.h"
+#include "kv/config.h"
 #include "lb/endpoint.h"
 #include "lb/load_balancer.h"
 #include "lb/policy.h"
@@ -44,6 +45,17 @@ struct ExperimentConfig {
   int num_apaches = 4;
   int num_tomcats = 4;
   int num_mysql = 1;
+  /// Which data tier backs the servlets' DB round trips. kMysql is the
+  /// paper's single-primary setup; kKv replaces it with the replicated
+  /// sharded KV tier (src/kv) routed by request key.
+  server::DbTier db_tier = server::DbTier::kMysql;
+  /// KV topology and quorum parameters (kKv mode only).
+  kv::KvConfig kv;
+  /// pdflush + injected stalls on the KV replica nodes — the data tier's
+  /// own millibottleneck source. Correlated injector stalls are placed on
+  /// enough members of the hot key's shard (n - r + 1 of them) that the
+  /// quorum cannot mask the episode.
+  bool kv_millibottlenecks = false;
 
   // -- workload ---------------------------------------------------------------
   workload::WorkloadParams workload;

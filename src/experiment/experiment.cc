@@ -7,8 +7,17 @@
 
 namespace ntier::experiment {
 
+ExperimentConfig Experiment::normalized(ExperimentConfig config) {
+  // The KV tier needs keys to shard by; give Zipf draws a population when
+  // the caller did not pick one. MySQL-mode configs are left untouched so
+  // their RNG streams stay byte-identical to pre-KV builds.
+  if (config.db_tier == server::DbTier::kKv && config.workload.key_space == 0)
+    config.workload.key_space = 10'000;
+  return config;
+}
+
 Experiment::Experiment(ExperimentConfig config)
-    : config_(std::move(config)),
+    : config_(normalized(std::move(config))),
       sim_(config_.seed),
       workload_(config_.workload),
       log_(config_.metric_window, config_.keep_records) {
@@ -51,10 +60,20 @@ void Experiment::build() {
     tomcat_nodes_.push_back(make_node("tomcat" + std::to_string(i + 1),
                                       tomcat_pdflush, config_.tomcat_pdflush,
                                       i, config_.tomcat_dirty_throttle_bytes));
-  for (int i = 0; i < config_.num_mysql; ++i)
-    mysql_nodes_.push_back(make_node("mysql" + std::to_string(i + 1),
-                                     config_.mysql_millibottlenecks,
-                                     config_.mysql_pdflush, i));
+  const bool kv_mode = config_.db_tier == server::DbTier::kKv;
+  if (!kv_mode) {
+    for (int i = 0; i < config_.num_mysql; ++i)
+      mysql_nodes_.push_back(make_node("mysql" + std::to_string(i + 1),
+                                       config_.mysql_millibottlenecks,
+                                       config_.mysql_pdflush, i));
+  } else {
+    // KV replica nodes take the data tier's place; they reuse the MySQL-side
+    // pdflush knobs (same disks, same writeback behaviour).
+    for (int i = 0; i < config_.kv.replicas; ++i)
+      kv_nodes_.push_back(make_node("kv" + std::to_string(i + 1),
+                                    config_.mysql_millibottlenecks,
+                                    config_.mysql_pdflush, i));
+  }
 
   // Synthetic stall sources (§III-A's non-pdflush causes), staggered the
   // same way the pdflush wakeups are.
@@ -78,16 +97,51 @@ void Experiment::build() {
     for (int i = 0; i < config_.num_tomcats; ++i)
       tomcat_nodes_[static_cast<std::size_t>(i)]->pdflush().set_trace(
           trace_.get(), obs::Tier::kTomcat, i);
-    for (int i = 0; i < config_.num_mysql; ++i)
+    for (int i = 0; i < config_.num_mysql && !kv_mode; ++i)
       mysql_nodes_[static_cast<std::size_t>(i)]->pdflush().set_trace(
           trace_.get(), obs::Tier::kMysql, i);
+    for (std::size_t i = 0; i < kv_nodes_.size(); ++i)
+      kv_nodes_[i]->pdflush().set_trace(trace_.get(), obs::Tier::kKv,
+                                        static_cast<int>(i));
   }
 
   // -- servers -----------------------------------------------------------------
-  for (int i = 0; i < config_.num_mysql; ++i)
-    mysqls_.push_back(std::make_unique<server::MySqlServer>(
-        sim_, *mysql_nodes_[static_cast<std::size_t>(i)], config_.mysql,
-        config_.metric_window));
+  if (!kv_mode) {
+    for (int i = 0; i < config_.num_mysql; ++i)
+      mysqls_.push_back(std::make_unique<server::MySqlServer>(
+          sim_, *mysql_nodes_[static_cast<std::size_t>(i)], config_.mysql,
+          config_.metric_window));
+  } else {
+    kv::KvReplicaConfig rc;
+    rc.hint_capacity = config_.kv.hint_capacity;
+    for (int i = 0; i < config_.kv.replicas; ++i)
+      kv_replicas_.push_back(std::make_unique<kv::KvReplica>(
+          sim_, *kv_nodes_[static_cast<std::size_t>(i)], i, rc,
+          config_.metric_window));
+    std::vector<kv::KvReplica*> kv_ptrs;
+    for (auto& r : kv_replicas_) kv_ptrs.push_back(r.get());
+    kv_tier_ = std::make_unique<kv::KvTier>(sim_, std::move(kv_ptrs),
+                                            config_.kv, config_.link_latency);
+    if (trace_) kv_tier_->set_trace(trace_.get());
+    // The data tier's own millibottleneck source: correlated injector
+    // stalls on enough members of the hot key's shard (n - r + 1 of them)
+    // that quorum-R completion cannot sidestep the episode. Key rank 0 is
+    // the Zipf-hottest key, so shard_of(0) is the hot shard.
+    if (config_.kv_millibottlenecks) {
+      const int hot_shard = kv_tier_->shard_of(0);
+      const auto& members = kv_tier_->shard_members(hot_shard);
+      const int stalled = std::min<int>(
+          static_cast<int>(members.size()),
+          config_.kv.n - config_.kv.r + 1);
+      for (int m = 0; m < stalled; ++m) {
+        const int node = members[static_cast<std::size_t>(m)];
+        kv_injectors_.push_back(std::make_unique<millib::CapacityStallInjector>(
+            sim_, kv_nodes_[static_cast<std::size_t>(node)]->cpu(),
+            config_.injector, "kv_hot_shard"));
+        kv_injectors_.back()->set_trace(trace_.get(), obs::Tier::kKv, node);
+      }
+    }
+  }
 
   std::vector<server::MySqlServer*> replica_ptrs;
   for (auto& m : mysqls_) replica_ptrs.push_back(m.get());
@@ -99,8 +153,12 @@ void Experiment::build() {
     dc.link_latency = config_.link_latency;
     dc.overload = config_.overload;
     if (lb::policy_uses_probes(dc.policy)) dc.probe.enabled = true;
-    db_routers_.push_back(
-        std::make_unique<server::DbRouter>(sim_, replica_ptrs, dc));
+    if (kv_mode)
+      db_routers_.push_back(
+          std::make_unique<server::DbRouter>(sim_, kv_tier_.get(), dc));
+    else
+      db_routers_.push_back(
+          std::make_unique<server::DbRouter>(sim_, replica_ptrs, dc));
     tomcats_.push_back(std::make_unique<server::TomcatServer>(
         sim_, *tomcat_nodes_[static_cast<std::size_t>(i)], i, *db_routers_.back(),
         tc, config_.metric_window));
@@ -172,6 +230,11 @@ void Experiment::build() {
           sim_, config_.metric_window, [node = n.get()] {
             return node->cpu().probe_utilisation().combined();
           }));
+    for (auto& n : kv_nodes_)
+      kv_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window, [node = n.get()] {
+            return node->cpu().probe_utilisation().combined();
+          }));
   }
   // iowait sampling doubles as the trace's kIoWait signal, so the samplers
   // exist whenever either consumer is on.
@@ -201,9 +264,11 @@ void Experiment::build() {
     for (int i = 0; i < config_.num_apaches; ++i)
       emit_iowait(apache_nodes_[static_cast<std::size_t>(i)].get(),
                   obs::Tier::kApache, i);
-    for (int i = 0; i < config_.num_mysql; ++i)
-      emit_iowait(mysql_nodes_[static_cast<std::size_t>(i)].get(),
-                  obs::Tier::kMysql, i);
+    for (std::size_t i = 0; i < mysql_nodes_.size(); ++i)
+      emit_iowait(mysql_nodes_[i].get(), obs::Tier::kMysql,
+                  static_cast<int>(i));
+    for (std::size_t i = 0; i < kv_nodes_.size(); ++i)
+      emit_iowait(kv_nodes_[i].get(), obs::Tier::kKv, static_cast<int>(i));
   }
 }
 
@@ -218,9 +283,11 @@ void Experiment::run() {
   }
   for (auto& t : tomcats_) t->finish_traces();
   for (auto& m : mysqls_) m->finish_traces();
+  if (kv_tier_) kv_tier_->finish(config_.duration);
   for (auto& n : tomcat_nodes_) n->page_cache().finish_trace();
   for (auto& n : apache_nodes_) n->page_cache().finish_trace();
   for (auto& n : mysql_nodes_) n->page_cache().finish_trace();
+  for (auto& n : kv_nodes_) n->page_cache().finish_trace();
 }
 
 std::size_t Experiment::num_metric_windows() const {
@@ -253,6 +320,12 @@ std::vector<double> Experiment::tomcat_tier_queue() const {
 std::vector<double> Experiment::mysql_tier_queue() const {
   std::vector<double> acc(num_metric_windows(), 0.0);
   for (const auto& m : mysqls_) add_gauge_max(acc, m->queue_trace());
+  return acc;
+}
+
+std::vector<double> Experiment::kv_tier_queue() const {
+  std::vector<double> acc(num_metric_windows(), 0.0);
+  for (const auto& r : kv_replicas_) add_gauge_max(acc, r->queue_trace());
   return acc;
 }
 
@@ -296,6 +369,15 @@ std::vector<std::pair<sim::SimTime, sim::SimTime>> Experiment::flush_intervals(
     out.emplace_back(e.start, e.end == sim::SimTime::max() ? config_.duration
                                                            : e.end);
   }
+  return out;
+}
+
+std::vector<std::pair<sim::SimTime, sim::SimTime>>
+Experiment::kv_stall_intervals() const {
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> out;
+  for (const auto& inj : kv_injectors_)
+    for (const auto& e : inj->episodes()) out.emplace_back(e.start, e.end);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "experiment/config.h"
+#include "kv/replica.h"
+#include "kv/tier.h"
 #include "metrics/request_log.h"
 #include "metrics/sampler.h"
 #include "millib/injector.h"
@@ -50,12 +52,20 @@ class Experiment {
   int num_apaches() const { return static_cast<int>(apaches_.size()); }
   int num_tomcats() const { return static_cast<int>(tomcats_.size()); }
   int num_mysql() const { return static_cast<int>(mysqls_.size()); }
+  int num_kv_replicas() const { return static_cast<int>(kv_replicas_.size()); }
   server::ApacheServer& apache(int i) { return *apaches_[static_cast<std::size_t>(i)]; }
   server::TomcatServer& tomcat(int i) { return *tomcats_[static_cast<std::size_t>(i)]; }
   server::MySqlServer& mysql(int i = 0) { return *mysqls_[static_cast<std::size_t>(i)]; }
   server::DbRouter& db_router(int tomcat) {
     return *db_routers_[static_cast<std::size_t>(tomcat)];
   }
+  /// The shared KV quorum tier; null unless config.db_tier == kKv.
+  kv::KvTier* kv_tier() { return kv_tier_.get(); }
+  const kv::KvTier* kv_tier() const { return kv_tier_.get(); }
+  kv::KvReplica& kv_replica(int i) {
+    return *kv_replicas_[static_cast<std::size_t>(i)];
+  }
+  os::Node& kv_node(int i) { return *kv_nodes_[static_cast<std::size_t>(i)]; }
   /// Null unless config.fault_plan is non-empty.
   const ChaosController* chaos() const { return chaos_.get(); }
   /// The cross-tier event collector; null unless config.event_trace.
@@ -73,6 +83,9 @@ class Experiment {
   /// balancer to any Tomcat (includes those blocked inside get_endpoint).
   std::vector<double> tomcat_tier_queue() const;
   std::vector<double> mysql_tier_queue() const;
+  /// KV tier queue: per-window sum over replicas of resident-op maxima
+  /// (empty in MySQL mode).
+  std::vector<double> kv_tier_queue() const;
   /// Committed-queue series of one Tomcat, summed across the 4 balancers.
   std::vector<double> tomcat_committed_series(int tomcat) const;
   /// Physically resident series of one Tomcat.
@@ -91,6 +104,9 @@ class Experiment {
   const metrics::TimeSeries& tomcat_iowait_series(int i) const {
     return tomcat_iowait_[static_cast<std::size_t>(i)]->series();
   }
+  const metrics::TimeSeries& kv_cpu_series(int i) const {
+    return kv_cpu_[static_cast<std::size_t>(i)]->series();
+  }
 
   /// Mean CPU utilisation over the run, per server (Fig. 5).
   double mean_cpu(const metrics::TimeSeries& s) const;
@@ -102,11 +118,17 @@ class Experiment {
   /// Ground-truth millibottleneck intervals on a MySQL node.
   std::vector<std::pair<sim::SimTime, sim::SimTime>> mysql_flush_intervals(
       int replica) const;
+  /// Ground-truth injected-stall intervals on the KV tier (empty unless
+  /// config.kv_millibottlenecks placed injectors on the hot shard's nodes).
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> kv_stall_intervals() const;
 
   std::size_t num_metric_windows() const;
 
  private:
   void build();
+  /// Fill config defaults that depend on other fields (kv mode gives the
+  /// workload a key space when none was set).
+  static ExperimentConfig normalized(ExperimentConfig config);
   std::unique_ptr<os::Node> make_node(const std::string& name,
                                       bool millibottlenecks,
                                       os::PdflushConfig pdflush, int index,
@@ -120,7 +142,11 @@ class Experiment {
   std::vector<std::unique_ptr<os::Node>> apache_nodes_;
   std::vector<std::unique_ptr<os::Node>> tomcat_nodes_;
   std::vector<std::unique_ptr<os::Node>> mysql_nodes_;
+  std::vector<std::unique_ptr<os::Node>> kv_nodes_;
   std::vector<std::unique_ptr<server::MySqlServer>> mysqls_;
+  std::vector<std::unique_ptr<kv::KvReplica>> kv_replicas_;
+  std::unique_ptr<kv::KvTier> kv_tier_;
+  std::vector<std::unique_ptr<millib::CapacityStallInjector>> kv_injectors_;
   std::vector<std::unique_ptr<server::DbRouter>> db_routers_;
   std::vector<std::unique_ptr<server::TomcatServer>> tomcats_;
   std::vector<std::unique_ptr<server::ApacheServer>> apaches_;
@@ -133,6 +159,7 @@ class Experiment {
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_iowait_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> mysql_cpu_;
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> kv_cpu_;
   /// Emit-only iowait samplers for the non-Tomcat nodes, feeding kIoWait
   /// events into the trace (no series is read back from them).
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> trace_iowait_;

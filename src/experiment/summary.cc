@@ -47,16 +47,30 @@ RunSummary summarize(Experiment& e) {
   s.vlrt_fraction = log.vlrt_fraction();
   s.normal_fraction = log.normal_fraction();
 
+  if (const auto* kv = e.kv_tier()) {
+    const auto& ks = kv->stats();
+    s.kv_quorum_failed = ks.quorum_failed_reads + ks.quorum_failed_writes;
+    s.kv_handoff_dropped = ks.handoff_dropped;
+    s.kv_migration_shed = ks.migration_shed;
+    s.kv_hints_replayed = ks.hints_replayed;
+    s.kv_read_repairs = ks.read_repairs;
+    s.kv_degraded_ms = ks.degraded_wait_ms;
+    s.kv_mean_quorum_wait_ms = ks.mean_quorum_wait_ms();
+  }
+
   if (cfg.tracing) {
     s.apache_queue_peak = max_of(e.apache_tier_queue());
     s.tomcat_queue_peak = max_of(e.tomcat_tier_queue());
     s.mysql_queue_peak = max_of(e.mysql_tier_queue());
+    s.kv_queue_peak = max_of(e.kv_tier_queue());
     for (int i = 0; i < e.num_apaches(); ++i)
       s.apache_mean_cpu.push_back(e.mean_cpu(e.apache_cpu_series(i)));
     for (int i = 0; i < e.num_tomcats(); ++i)
       s.tomcat_mean_cpu.push_back(e.mean_cpu(e.tomcat_cpu_series(i)));
     for (int i = 0; i < e.num_mysql(); ++i)
       s.mysql_mean_cpu.push_back(e.mean_cpu(e.mysql_cpu_series(i)));
+    for (int i = 0; i < e.num_kv_replicas(); ++i)
+      s.kv_mean_cpu.push_back(e.mean_cpu(e.kv_cpu_series(i)));
   }
   return s;
 }
@@ -114,9 +128,18 @@ void RunSummary::to_json(std::ostream& os) const {
   field(os, "apache_queue_peak", apache_queue_peak);
   field(os, "tomcat_queue_peak", tomcat_queue_peak);
   field(os, "mysql_queue_peak", mysql_queue_peak);
+  field(os, "kv_queue_peak", kv_queue_peak);
+  field(os, "kv_quorum_failed", static_cast<double>(kv_quorum_failed));
+  field(os, "kv_handoff_dropped", static_cast<double>(kv_handoff_dropped));
+  field(os, "kv_migration_shed", static_cast<double>(kv_migration_shed));
+  field(os, "kv_hints_replayed", static_cast<double>(kv_hints_replayed));
+  field(os, "kv_read_repairs", static_cast<double>(kv_read_repairs));
+  field(os, "kv_degraded_ms", kv_degraded_ms);
+  field(os, "kv_mean_quorum_wait_ms", kv_mean_quorum_wait_ms);
   array(os, "apache_mean_cpu", apache_mean_cpu);
   array(os, "tomcat_mean_cpu", tomcat_mean_cpu);
-  array(os, "mysql_mean_cpu", mysql_mean_cpu, /*comma=*/false);
+  array(os, "mysql_mean_cpu", mysql_mean_cpu);
+  array(os, "kv_mean_cpu", kv_mean_cpu, /*comma=*/false);
   os << "}\n";
 }
 

@@ -48,10 +48,25 @@ struct RunSummary {
   double apache_queue_peak = 0;
   double tomcat_queue_peak = 0;
   double mysql_queue_peak = 0;
+  double kv_queue_peak = 0;
+
+  // -- KV data tier (all zero when the run used the MySQL tier) --------------
+  /// Per-reason KV error counters: quorum not reachable, hinted handoff
+  /// overflow/loss, writes shed in a migration handover window.
+  std::uint64_t kv_quorum_failed = 0;
+  std::uint64_t kv_handoff_dropped = 0;
+  std::uint64_t kv_migration_shed = 0;
+  std::uint64_t kv_hints_replayed = 0;
+  std::uint64_t kv_read_repairs = 0;
+  /// Quorum-op time accumulated while the op's shard was below full
+  /// replication (degraded mode), and the mean quorum wait overall.
+  double kv_degraded_ms = 0;
+  double kv_mean_quorum_wait_ms = 0;
 
   std::vector<double> apache_mean_cpu;
   std::vector<double> tomcat_mean_cpu;
   std::vector<double> mysql_mean_cpu;
+  std::vector<double> kv_mean_cpu;
 
   /// Serialise as a single JSON object (stable field order, no deps).
   void to_json(std::ostream& os) const;

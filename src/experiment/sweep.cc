@@ -79,6 +79,12 @@ void AggregateSummary::finalize() {
   deadline_sheds = stats([](const RunSummary& r) { return r.deadline_sheds; });
   wasted_work_avoided_ms =
       stats([](const RunSummary& r) { return r.wasted_work_avoided_ms; });
+  kv_quorum_failed = stats([](const RunSummary& r) { return r.kv_quorum_failed; });
+  kv_handoff_dropped =
+      stats([](const RunSummary& r) { return r.kv_handoff_dropped; });
+  kv_migration_shed =
+      stats([](const RunSummary& r) { return r.kv_migration_shed; });
+  kv_degraded_ms = stats([](const RunSummary& r) { return r.kv_degraded_ms; });
 }
 
 AggregateSummary AggregateSummary::merge(AggregateSummary a,
@@ -131,8 +137,11 @@ void AggregateSummary::to_json(std::ostream& os) const {
   json_stats(os, "goodput_rps", goodput_rps);
   json_stats(os, "total_sheds", total_sheds);
   json_stats(os, "deadline_sheds", deadline_sheds);
-  json_stats(os, "wasted_work_avoided_ms", wasted_work_avoided_ms,
-             /*comma=*/false);
+  json_stats(os, "wasted_work_avoided_ms", wasted_work_avoided_ms);
+  json_stats(os, "kv_quorum_failed", kv_quorum_failed);
+  json_stats(os, "kv_handoff_dropped", kv_handoff_dropped);
+  json_stats(os, "kv_migration_shed", kv_migration_shed);
+  json_stats(os, "kv_degraded_ms", kv_degraded_ms, /*comma=*/false);
   os << "  },\n";
   os << "  \"pooled\": {\"completed\": " << pooled.count()
      << ", \"mean_ms\": " << pooled_mean_ms()
@@ -184,13 +193,19 @@ void AggregateSummary::to_csv(std::ostream& os) const {
   row("total_sheds", total_sheds);
   row("deadline_sheds", deadline_sheds);
   row("wasted_work_avoided_ms", wasted_work_avoided_ms);
+  row("kv_quorum_failed", kv_quorum_failed);
+  row("kv_handoff_dropped", kv_handoff_dropped);
+  row("kv_migration_shed", kv_migration_shed);
+  row("kv_degraded_ms", kv_degraded_ms);
 }
 
 void AggregateSummary::per_run_csv(std::ostream& os) const {
   os << std::setprecision(10);
   os << "run,seed,completed,dropped,balancer_errors,connection_drops,"
         "mean_rt_ms,p50_ms,p99_ms,p999_ms,vlrt_fraction,normal_fraction,"
-        "goodput_rps,total_sheds,deadline_sheds,wasted_work_avoided_ms\n";
+        "goodput_rps,total_sheds,deadline_sheds,wasted_work_avoided_ms,"
+        "kv_quorum_failed,kv_handoff_dropped,kv_migration_shed,"
+        "kv_degraded_ms\n";
   for (std::size_t i = 0; i < per_run.size(); ++i) {
     const RunSummary& r = per_run[i];
     os << i << ',' << (i < run_seeds.size() ? run_seeds[i] : 0) << ','
@@ -200,7 +215,9 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
        << r.normal_fraction << ',' << r.goodput_rps << ','
        << (r.admission_sheds + r.brownout_sheds + r.deadline_sheds +
            r.sojourn_sheds)
-       << ',' << r.deadline_sheds << ',' << r.wasted_work_avoided_ms << '\n';
+       << ',' << r.deadline_sheds << ',' << r.wasted_work_avoided_ms << ','
+       << r.kv_quorum_failed << ',' << r.kv_handoff_dropped << ','
+       << r.kv_migration_shed << ',' << r.kv_degraded_ms << '\n';
   }
 }
 

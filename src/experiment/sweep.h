@@ -66,6 +66,9 @@ struct AggregateSummary {
   MetricStats vlrt_fraction, normal_fraction;
   // Overload control (zero across the board when no mode is active).
   MetricStats goodput_rps, total_sheds, deadline_sheds, wasted_work_avoided_ms;
+  // KV data tier per-reason errors (zero across the board in MySQL mode).
+  MetricStats kv_quorum_failed, kv_handoff_dropped, kv_migration_shed,
+      kv_degraded_ms;
 
   // -- pooled-distribution aggregates ----------------------------------------
   double pooled_mean_ms() const { return pooled.mean(); }

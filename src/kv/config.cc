@@ -1,0 +1,85 @@
+#include "kv/config.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace ntier::kv {
+
+bool KvConfig::validate(std::string* error) const {
+  auto fail = [error](const std::string& why) {
+    if (error) *error = "kv config: " + why;
+    return false;
+  };
+  if (replicas < 1) return fail("replicas must be >= 1");
+  if (shards < 1) return fail("shards must be >= 1");
+  if (vnodes < 1) return fail("vnodes must be >= 1");
+  if (n < 1) return fail("n must be >= 1");
+  if (n > replicas)
+    return fail("n=" + std::to_string(n) + " exceeds replicas=" +
+                std::to_string(replicas));
+  if (r < 1 || r > n)
+    return fail("r=" + std::to_string(r) + " must be in [1, n=" +
+                std::to_string(n) + "]");
+  if (w < 1 || w > n)
+    return fail("w=" + std::to_string(w) + " must be in [1, n=" +
+                std::to_string(n) + "]");
+  if (r + w <= n)
+    return fail("r+w must exceed n for quorum intersection (r=" +
+                std::to_string(r) + ", w=" + std::to_string(w) + ", n=" +
+                std::to_string(n) + ")");
+  return true;
+}
+
+std::string KvConfig::to_string() const {
+  std::ostringstream os;
+  os << "replicas=" << replicas << ",shards=" << shards << ",vnodes=" << vnodes
+     << ",n=" << n << ",r=" << r << ",w=" << w;
+  return os.str();
+}
+
+std::optional<KvConfig> kv_config_from_string(const std::string& s,
+                                              std::string* error) {
+  KvConfig cfg;
+  auto fail = [error](const std::string& why) {
+    if (error) *error = "kv config: " + why;
+    return std::nullopt;
+  };
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      return fail("expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    int parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size())
+      return fail("bad integer for '" + key + "': '" + value + "'");
+    if (key == "replicas") cfg.replicas = parsed;
+    else if (key == "shards") cfg.shards = parsed;
+    else if (key == "vnodes") cfg.vnodes = parsed;
+    else if (key == "n") cfg.n = parsed;
+    else if (key == "r") cfg.r = parsed;
+    else if (key == "w") cfg.w = parsed;
+    else if (key == "hints") {
+      if (parsed < 0) return fail("hints must be >= 0");
+      cfg.hint_capacity = static_cast<std::size_t>(parsed);
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  std::string why;
+  if (!cfg.validate(&why)) {
+    if (error) *error = why;
+    return std::nullopt;
+  }
+  return cfg;
+}
+
+}  // namespace ntier::kv

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ntier::kv {
+
+/// Configuration of the replicated sharded KV data tier (Dynamo-style):
+/// `replicas` storage nodes carry `shards` shards on a consistent-hash ring
+/// with `vnodes` virtual nodes per replica; each shard lives on `n` replicas
+/// and operations complete at `r` (reads) / `w` (writes) acknowledgements.
+/// The classic quorum-intersection requirement r + w > n makes every read
+/// see the newest completed write, which is what read-repair restores when
+/// a quorum diverges after failures.
+struct KvConfig {
+  int replicas = 4;  // storage nodes in the tier (> n so handoff has a target)
+  int shards = 16;
+  int vnodes = 8;    // virtual ring positions per replica
+  int n = 3;         // preference-list size (copies per shard)
+  int r = 2;         // read quorum
+  int w = 2;         // write quorum
+
+  /// Hinted handoff: missed writes stashed on a stand-in replica, bounded
+  /// per holder; overflow is counted as handoff_dropped (no silent loss).
+  std::size_t hint_capacity = 4096;
+  /// CPU demand of stashing one hint on the stand-in.
+  sim::SimTime hint_store_demand = sim::SimTime::micros(20);
+  /// Pacing between replayed hints on recovery — the replay itself is a
+  /// load spike on the recovering replica, deliberately visible.
+  sim::SimTime hint_replay_gap = sim::SimTime::micros(200);
+
+  /// Shard migration (seeded rebalancing): the source and destination burn
+  /// one chunk of CPU every interval for the fault's duration — the
+  /// rebalancing millibottleneck — and writes landing inside the final
+  /// handover window are shed (migration_shed).
+  sim::SimTime migration_chunk_interval = sim::SimTime::millis(5);
+  sim::SimTime migration_chunk_demand = sim::SimTime::millis(2);
+  std::uint32_t migration_bytes_per_chunk = 262'144;
+  sim::SimTime migration_handover = sim::SimTime::millis(50);
+
+  /// Validate the quorum geometry; on failure fills `error` with the reason
+  /// (mirrors the CLI's rejection-message contract).
+  bool validate(std::string* error) const;
+
+  /// Canonical "replicas=4,shards=16,vnodes=8,n=3,r=2,w=2" rendering —
+  /// round-trips through kv_config_from_string.
+  std::string to_string() const;
+};
+
+/// Parse "key=value,key=value" (keys: replicas, shards, vnodes, n, r, w,
+/// hints) over the defaults. Returns nullopt and fills `error` on unknown
+/// keys, malformed numbers, or invalid quorum geometry.
+std::optional<KvConfig> kv_config_from_string(const std::string& s,
+                                              std::string* error);
+
+}  // namespace ntier::kv

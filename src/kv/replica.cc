@@ -1,0 +1,81 @@
+#include "kv/replica.h"
+
+namespace ntier::kv {
+
+KvReplica::KvReplica(sim::Simulation& simu, os::Node& node, int id,
+                     KvReplicaConfig config, sim::SimTime trace_window)
+    : sim_(simu),
+      node_(node),
+      id_(id),
+      config_(config),
+      queue_trace_(trace_window) {}
+
+void KvReplica::execute(sim::SimTime demand, std::function<void()> done) {
+  ++resident_;
+  queue_trace_.set(sim_.now(), resident_);
+  if (executing_ < config_.max_connections) {
+    start(demand, std::move(done));
+  } else {
+    waiting_.emplace_back(demand, std::move(done));
+  }
+}
+
+void KvReplica::start(sim::SimTime demand, std::function<void()> done) {
+  ++executing_;
+  node_.cpu().submit(demand, [this, done = std::move(done)] {
+    on_op_done();
+    if (done) done();
+  });
+}
+
+void KvReplica::on_op_done() {
+  --executing_;
+  --resident_;
+  ++served_;
+  queue_trace_.set(sim_.now(), resident_);
+  if (!waiting_.empty() && executing_ < config_.max_connections) {
+    auto [demand, done] = std::move(waiting_.front());
+    waiting_.pop_front();
+    start(demand, std::move(done));
+  }
+}
+
+std::uint64_t KvReplica::version_of(std::uint64_t key) const {
+  const auto it = versions_.find(key);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+bool KvReplica::apply_write(std::uint64_t key, std::uint64_t version) {
+  auto& stored = versions_[key];
+  if (version <= stored) return false;
+  stored = version;
+  ++writes_applied_;
+  if (config_.log_bytes_per_write > 0)
+    node_.page_cache().write_dirty(config_.log_bytes_per_write);
+  return true;
+}
+
+void KvReplica::dirty_bytes(std::uint32_t bytes) {
+  if (bytes > 0) node_.page_cache().write_dirty(bytes);
+}
+
+bool KvReplica::store_hint(const Hint& h) {
+  if (hints_.size() >= config_.hint_capacity) return false;
+  hints_.push_back(h);
+  return true;
+}
+
+std::vector<Hint> KvReplica::take_hints_for(int home) {
+  std::vector<Hint> out;
+  std::deque<Hint> keep;
+  for (auto& h : hints_) {
+    if (h.home == home)
+      out.push_back(h);
+    else
+      keep.push_back(h);
+  }
+  hints_.swap(keep);
+  return out;
+}
+
+}  // namespace ntier::kv

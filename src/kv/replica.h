@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "metrics/time_series.h"
+#include "os/node.h"
+#include "sim/simulation.h"
+
+namespace ntier::kv {
+
+struct KvReplicaConfig {
+  /// Server-side concurrency cap; work beyond it queues FIFO (the shard
+  /// queue the hot-key scenarios make visible).
+  int max_connections = 256;
+  /// Dirty bytes per applied write (commit log), feeding the node's page
+  /// cache so pdflush-driven millibottlenecks reach the data tier.
+  std::uint32_t log_bytes_per_write = 800;
+  /// Bound on hints held for crashed peers (KvConfig::hint_capacity).
+  std::size_t hint_capacity = 4096;
+};
+
+/// One missed write stashed on a stand-in replica, replayed on recovery.
+struct Hint {
+  std::uint64_t key = 0;
+  std::uint64_t version = 0;
+  sim::SimTime demand;  // the original write's CPU demand, re-run on replay
+  int home = -1;        // the replica the write was meant for
+};
+
+/// One storage node of the KV tier: a versioned key store executing CPU
+/// demands on its os::Node (FIFO beyond the connection cap, mirroring
+/// MySqlServer), plus a bounded hinted-handoff queue it holds for crashed
+/// peers. Crash/restart follows the Tomcat pattern: a crashed replica is
+/// fenced by the tier's failure detector; in-flight work drains normally.
+class KvReplica {
+ public:
+  KvReplica(sim::Simulation& simu, os::Node& node, int id,
+            KvReplicaConfig config = {},
+            sim::SimTime trace_window = sim::SimTime::millis(50));
+
+  KvReplica(const KvReplica&) = delete;
+  KvReplica& operator=(const KvReplica&) = delete;
+
+  /// Execute one operation of the given CPU demand; `done` fires on
+  /// completion (storage reads/writes happen inside `done`, at completion
+  /// time, so queueing delay is part of the operation).
+  void execute(sim::SimTime demand, std::function<void()> done);
+
+  // -- versioned store --------------------------------------------------------
+  std::uint64_t version_of(std::uint64_t key) const;
+  /// Apply a write if `version` advances the stored one; returns true when
+  /// the store changed (dirties log_bytes_per_write on the node).
+  bool apply_write(std::uint64_t key, std::uint64_t version);
+  /// Migration ingest: bulk bytes dirtied without a key-level write.
+  void dirty_bytes(std::uint32_t bytes);
+
+  // -- crash / restart --------------------------------------------------------
+  void crash() { crashed_ = true; }
+  void restart() { crashed_ = false; }
+  bool crashed() const { return crashed_; }
+
+  // -- hinted handoff (hints this replica HOLDS for others) -------------------
+  /// Stash a hint; false when the bounded queue is full.
+  bool store_hint(const Hint& h);
+  /// Remove and return every held hint destined for `home`, FIFO order.
+  std::vector<Hint> take_hints_for(int home);
+  std::size_t hints_held() const { return hints_.size(); }
+
+  // -- observability ----------------------------------------------------------
+  int id() const { return id_; }
+  int resident() const { return resident_; }
+  const metrics::GaugeSeries& queue_trace() const { return queue_trace_; }
+  void finish_traces() { queue_trace_.finish(sim_.now()); }
+  std::uint64_t ops_served() const { return served_; }
+  std::uint64_t writes_applied() const { return writes_applied_; }
+  os::Node& node() { return node_; }
+
+ private:
+  void start(sim::SimTime demand, std::function<void()> done);
+  void on_op_done();
+
+  sim::Simulation& sim_;
+  os::Node& node_;
+  int id_;
+  KvReplicaConfig config_;
+  bool crashed_ = false;
+  int executing_ = 0;
+  int resident_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t writes_applied_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> versions_;
+  std::deque<std::pair<sim::SimTime, std::function<void()>>> waiting_;
+  std::deque<Hint> hints_;
+  metrics::GaugeSeries queue_trace_;
+};
+
+}  // namespace ntier::kv

@@ -1,0 +1,69 @@
+#include "kv/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace ntier::kv {
+
+namespace {
+constexpr std::uint64_t kShardSalt = 0x8FB3C5D1A7E92461ull;
+constexpr std::uint64_t kVnodeSalt = 0x2545F4914F6CDD1Dull;
+}  // namespace
+
+HashRing::HashRing(int replicas, int vnodes) : replicas_(replicas) {
+  if (replicas < 1 || vnodes < 1)
+    throw std::invalid_argument("HashRing: replicas and vnodes must be >= 1");
+  points_.reserve(static_cast<std::size_t>(replicas) * vnodes);
+  for (int rep = 0; rep < replicas; ++rep)
+    for (int v = 0; v < vnodes; ++v)
+      points_.emplace_back(
+          sim::Rng::mix64(kVnodeSalt + 0x10001ull * static_cast<std::uint64_t>(rep) +
+                          static_cast<std::uint64_t>(v)),
+          rep);
+  // Position ties (astronomically unlikely) break by replica id so the ring
+  // order is a total, deterministic function of its inputs.
+  std::sort(points_.begin(), points_.end());
+}
+
+std::uint64_t HashRing::shard_point(std::uint64_t shard) {
+  return sim::Rng::mix64(kShardSalt ^ shard);
+}
+
+template <typename Fn>
+void HashRing::walk(std::uint64_t shard, Fn&& fn) const {
+  const std::uint64_t point = shard_point(shard);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), std::make_pair(point, -1));
+  const std::size_t start =
+      static_cast<std::size_t>(it - points_.begin()) % points_.size();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!fn(points_[(start + i) % points_.size()].second)) return;
+  }
+}
+
+std::vector<int> HashRing::preference_list(std::uint64_t shard, int n) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  walk(shard, [&out, n](int rep) {
+    if (std::find(out.begin(), out.end(), rep) == out.end()) out.push_back(rep);
+    return static_cast<int>(out.size()) < n;
+  });
+  return out;
+}
+
+int HashRing::next_alive(std::uint64_t shard, const std::vector<int>& exclude,
+                         const std::vector<bool>& alive) const {
+  int found = -1;
+  walk(shard, [&](int rep) {
+    if (std::find(exclude.begin(), exclude.end(), rep) != exclude.end())
+      return true;
+    if (!alive[static_cast<std::size_t>(rep)]) return true;
+    found = rep;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace ntier::kv

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ntier::kv {
+
+/// Consistent-hash ring with virtual nodes. Every replica owns `vnodes`
+/// deterministic positions (splitmix64 of the (replica, vnode) pair), so
+/// the layout is a pure function of (replicas, vnodes) — no RNG stream is
+/// consumed and byte-determinism is trivial. Shards hash to a point on the
+/// ring; a shard's preference list is the first `n` *distinct* replicas
+/// clockwise from its point (Dynamo's walk), and hinted handoff targets are
+/// found by continuing the same walk past the preference list.
+class HashRing {
+ public:
+  HashRing(int replicas, int vnodes);
+
+  int num_replicas() const { return replicas_; }
+
+  /// First `n` distinct replicas clockwise from the shard's ring point.
+  std::vector<int> preference_list(std::uint64_t shard, int n) const;
+
+  /// First alive replica clockwise from the shard's point that is not in
+  /// `exclude` — the hinted-handoff stand-in, or the migration destination.
+  /// Returns -1 when no such replica exists.
+  int next_alive(std::uint64_t shard, const std::vector<int>& exclude,
+                 const std::vector<bool>& alive) const;
+
+  /// The ring position a shard hashes to (exposed for tests).
+  static std::uint64_t shard_point(std::uint64_t shard);
+
+ private:
+  /// Walk clockwise from the shard point, visiting replicas in first-vnode
+  /// order, calling `fn(replica)` until it returns false.
+  template <typename Fn>
+  void walk(std::uint64_t shard, Fn&& fn) const;
+
+  int replicas_;
+  std::vector<std::pair<std::uint64_t, int>> points_;  // sorted (pos, replica)
+};
+
+}  // namespace ntier::kv

@@ -191,8 +191,9 @@ void LoadBalancer::try_next(const std::shared_ptr<AssignContext>& ctx) {
                     rec.breaker_open ? 3 : static_cast<std::int32_t>(rec.state));
       }
     }
-    idx = eligible_idx.empty() ? -1
-                               : policy_->pick(records_, eligible_idx, rng_);
+    idx = eligible_idx.empty()
+              ? -1
+              : policy_->pick_for(records_, eligible_idx, rng_, *ctx->req);
   }
   if (idx < 0) {
     ++balancer_errors_;

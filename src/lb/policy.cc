@@ -17,12 +17,13 @@ std::string to_string(PolicyKind k) {
     case PolicyKind::kTwoChoices: return "two_choices";
     case PolicyKind::kPowerOfD: return "power_of_d";
     case PolicyKind::kPrequal: return "prequal";
+    case PolicyKind::kSourceHash: return "source_hash";
   }
   return "?";
 }
 
 std::optional<PolicyKind> policy_from_string(const std::string& name) {
-  for (int k = 0; k <= static_cast<int>(PolicyKind::kPrequal); ++k) {
+  for (int k = 0; k <= static_cast<int>(PolicyKind::kSourceHash); ++k) {
     const auto kind = static_cast<PolicyKind>(k);
     if (name == to_string(kind)) return kind;
   }
@@ -75,6 +76,21 @@ int TwoChoicesPolicy::pick(const std::vector<WorkerRecord>& records,
   return ra.outstanding <= rb.outstanding ? a : b;
 }
 
+int SourceHashPolicy::pick_for(const std::vector<WorkerRecord>& records,
+                               const std::vector<int>& eligible, sim::Rng&,
+                               const proto::Request& req) {
+  if (eligible.empty()) return -1;
+  // Hash the client over ALL workers first so affinity is stable regardless
+  // of who happens to be eligible this instant...
+  const std::uint64_t h = sim::Rng::mix64(static_cast<std::uint64_t>(req.client) + 1);
+  const int preferred = static_cast<int>(h % records.size());
+  for (int idx : eligible)
+    if (idx == preferred) return preferred;
+  // ...and only rehash over the eligible set when the preferred worker is
+  // sidelined (breaker open, being retried, etc.).
+  return eligible[static_cast<std::size_t>((h >> 17) % eligible.size())];
+}
+
 std::unique_ptr<LbPolicy> make_policy(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kTotalRequest: return std::make_unique<TotalRequestPolicy>();
@@ -86,6 +102,7 @@ std::unique_ptr<LbPolicy> make_policy(PolicyKind kind) {
     case PolicyKind::kTwoChoices: return std::make_unique<TwoChoicesPolicy>();
     case PolicyKind::kPowerOfD: return std::make_unique<PowerOfDPolicy>();
     case PolicyKind::kPrequal: return std::make_unique<PrequalPolicy>();
+    case PolicyKind::kSourceHash: return std::make_unique<SourceHashPolicy>();
   }
   throw std::invalid_argument("make_policy: unknown kind");
 }

@@ -22,6 +22,7 @@ enum class PolicyKind {
   kTwoChoices,    // power-of-two-choices on outstanding (extension baseline)
   kPowerOfD,      // JSQ(d) over probe-fresh requests-in-flight (src/probe)
   kPrequal,       // Prequal hot/cold rule over probe-fresh RIF + latency
+  kSourceHash,    // client-affinity hash: same client -> same worker
 };
 
 std::string to_string(PolicyKind k);
@@ -55,6 +56,16 @@ class LbPolicy {
   /// ties (mod_jk scans workers in order with a strict comparison).
   virtual int pick(const std::vector<WorkerRecord>& records,
                    const std::vector<int>& eligible, sim::Rng& rng);
+
+  /// Request-aware selection; the balancer calls this one. Defaults to the
+  /// request-blind pick() so only affinity policies (source_hash) need the
+  /// request at all.
+  virtual int pick_for(const std::vector<WorkerRecord>& records,
+                       const std::vector<int>& eligible, sim::Rng& rng,
+                       const proto::Request& req) {
+    (void)req;
+    return pick(records, eligible, rng);
+  }
 
   /// Endpoint acquired; request about to be sent (Algorithms 2 & 4).
   virtual void on_assigned(WorkerRecord& rec, const proto::Request& req) = 0;
@@ -158,6 +169,22 @@ class TwoChoicesPolicy final : public LbPolicy {
   PolicyKind kind() const override { return PolicyKind::kTwoChoices; }
   int pick(const std::vector<WorkerRecord>& records,
            const std::vector<int>& eligible, sim::Rng& rng) override;
+  void on_assigned(WorkerRecord&, const proto::Request&) override {}
+  void on_completed(WorkerRecord&, const proto::Request&) override {}
+};
+
+/// Affinity baseline: hash the originating client onto a worker, so the same
+/// client always lands on the same backend (HAProxy `balance source`). The
+/// KV hot-shard benchmark includes it to show that even perfect affinity
+/// cannot dodge a *key-level* bottleneck — every server still funnels the
+/// hot key into the same shard quorum. Falls back to a hash over the
+/// eligible set when the preferred worker is sidelined.
+class SourceHashPolicy final : public LbPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSourceHash; }
+  int pick_for(const std::vector<WorkerRecord>& records,
+               const std::vector<int>& eligible, sim::Rng& rng,
+               const proto::Request& req) override;
   void on_assigned(WorkerRecord&, const proto::Request&) override {}
   void on_completed(WorkerRecord&, const proto::Request&) override {}
 };

@@ -58,6 +58,11 @@ void LatencyBreakdown::add(const RequestRecord& rec) {
   hists_[kBalancing].record((rec.assigned_at - rec.accepted_at).to_millis());
   hists_[kBackend].record((rec.backend_done_at - rec.assigned_at).to_millis());
   hists_[kReply].record((rec.end - rec.backend_done_at).to_millis());
+  if (rec.kv_wait_ms > 0) {
+    ++kv_requests_;
+    kv_wait_hist_.record(rec.kv_wait_ms);
+    kv_degraded_ms_ += rec.kv_degraded_ms;
+  }
 }
 
 void LatencyBreakdown::add_all(const std::vector<RequestRecord>& records) {
@@ -84,6 +89,13 @@ void LatencyBreakdown::print(std::ostream& os) const {
        << std::fixed << std::setprecision(3) << std::setw(12) << mean_ms(seg)
        << std::setw(12) << p99_ms(seg) << std::setw(9) << std::setprecision(1)
        << 100 * share(seg) << "%" << "\n";
+  }
+  if (kv_requests_ > 0) {
+    os << "  kv quorum wait (within backend): " << kv_requests_
+       << " requests, mean " << std::fixed << std::setprecision(3)
+       << kv_wait_hist_.mean() << " ms, p99 " << kv_wait_hist_.percentile(99)
+       << " ms, degraded total " << std::setprecision(1) << kv_degraded_ms_
+       << " ms\n";
   }
   if (dropped_ > 0 || balancer_errors_ > 0) {
     os << "  failed before completion: " << dropped_ << " dropped, "

@@ -74,6 +74,13 @@ class LatencyBreakdown {
     return hists_[static_cast<std::size_t>(s)];
   }
 
+  /// KV-mode attribution *within* the backend segment: time the request
+  /// spent waiting on KV quorums, and the degraded-quorum share of it
+  /// (a preference-list replica down). Zero requests in MySQL mode.
+  std::int64_t kv_requests() const { return kv_requests_; }
+  const LatencyHistogram& kv_wait_hist() const { return kv_wait_hist_; }
+  double kv_degraded_ms_total() const { return kv_degraded_ms_; }
+
   /// Human-readable table.
   void print(std::ostream& os) const;
 
@@ -86,6 +93,11 @@ class LatencyBreakdown {
   std::array<std::int64_t, kNumSegments> dropped_in_{};
   std::array<std::int64_t, kNumSegments> errored_in_{};
   std::array<std::array<std::int64_t, 5>, kNumSegments> shed_in_{};
+  LatencyHistogram kv_wait_hist_{/*min_value_ms=*/0.01,
+                                 /*max_value_ms=*/100'000.0,
+                                 /*buckets_per_decade=*/20};
+  std::int64_t kv_requests_ = 0;
+  double kv_degraded_ms_ = 0;
 };
 
 }  // namespace ntier::metrics

@@ -41,6 +41,11 @@ struct RequestRecord {
   sim::SimTime deadline;
   std::uint8_t priority = 1;
   proto::ShedReason shed = proto::ShedReason::kNone;
+  // KV data tier: total quorum wait across the request's round trips, and
+  // the share accrued while the touched shard was degraded (zero in MySQL
+  // mode or when no replica was down).
+  double kv_wait_ms = 0;
+  double kv_degraded_ms = 0;
 
   double response_ms() const { return (end - start).to_millis(); }
   /// Goodput criterion: completed, and within the deadline when one was

@@ -86,6 +86,14 @@ CausalChainReport CausalChainAnalyzer::analyze(
       lb_updates;  // (balancer node, worker) -> update times
   std::vector<std::pair<SimTime, std::uint64_t>> retransmits;
   std::vector<SimTime> shed_times;
+  // KV quorum completions: (at, shard, wait_ms, degraded).
+  struct KvOp {
+    SimTime at;
+    int shard;
+    double wait_ms;
+    bool degraded;
+  };
+  std::vector<KvOp> kv_ops;
   std::unordered_map<std::uint64_t, ReqState> reqs;
   // Committed queue per Tomcat, rebuilt from balancer-side deltas.
   std::map<int, metrics::GaugeSeries> committed;
@@ -143,6 +151,19 @@ CausalChainReport CausalChainAnalyzer::analyze(
         break;
       case EventKind::kLimitUpdate:
         ++report.limit_updates;
+        break;
+      case EventKind::kKvQuorumRead:
+      case EventKind::kKvQuorumWrite:
+        kv_ops.push_back(KvOp{e.at, e.node, e.value, e.aux > 0});
+        break;
+      case EventKind::kKvHandoffReplay:
+        ++report.kv_handoff_replays;
+        break;
+      case EventKind::kKvReadRepair:
+        ++report.kv_read_repairs;
+        break;
+      case EventKind::kKvMigration:
+        if (e.aux > 0) ++report.kv_migrations;  // aux = +1 marks the start
         break;
       case EventKind::kClientSend:
         reqs[e.request].send = std::min(reqs[e.request].send, e.at);
@@ -276,6 +297,43 @@ CausalChainReport CausalChainAnalyzer::analyze(
       ++c.sheds.count;
       c.sheds.magnitude = static_cast<double>(c.sheds.count);
     }
+    // Slow quorum completions during a KV-node episode: the hot-shard
+    // chain's first downstream hop (node = replica here, shard membership
+    // is not in the trace, so any overlapping slow op joins).
+    if (c.tier == Tier::kKv) {
+      for (const auto& op : kv_ops) {
+        if (op.wait_ms < config_.kv_slow_quorum_ms) continue;
+        if (op.at < lo || op.at > hi) continue;
+        if (!c.kv_quorum.present)
+          c.kv_quorum.lag_ms = (op.at - c.start).to_millis();
+        c.kv_quorum.present = true;
+        ++c.kv_quorum.count;
+        c.kv_quorum.magnitude = std::max(c.kv_quorum.magnitude, op.wait_ms);
+      }
+    }
+  }
+
+  // ---- per-shard KV digest --------------------------------------------------
+  {
+    std::map<int, KvShardSummary> shards;
+    for (const auto& op : kv_ops) {
+      KvShardSummary& s = shards[op.shard];
+      s.shard = op.shard;
+      ++s.ops;
+      if (op.degraded) ++s.degraded_ops;
+      s.mean_wait_ms += op.wait_ms;  // sum; divided below
+      s.max_wait_ms = std::max(s.max_wait_ms, op.wait_ms);
+    }
+    for (auto& [id, s] : shards) {
+      s.mean_wait_ms /= static_cast<double>(s.ops);
+      report.kv_shards.push_back(s);
+    }
+    std::sort(report.kv_shards.begin(), report.kv_shards.end(),
+              [](const KvShardSummary& a, const KvShardSummary& b) {
+                if (a.mean_wait_ms != b.mean_wait_ms)
+                  return a.mean_wait_ms > b.mean_wait_ms;
+                return a.shard < b.shard;
+              });
   }
 
   // ---- VLRT attribution -----------------------------------------------------
@@ -378,9 +436,32 @@ void CausalChainReport::print(std::ostream& os) const {
     print_link(os, "queue spike", c.queue_spike, "peak");
     print_link(os, "syn retransmits", c.retransmits, "count");
     if (c.sheds.present) print_link(os, "overload sheds", c.sheds, "count");
+    if (c.tier == obs::Tier::kKv)
+      print_link(os, "slow kv quorum", c.kv_quorum, "max_ms");
     std::snprintf(buf, sizeof buf, "    %-18s %llu attributed\n", "vlrts",
                   static_cast<unsigned long long>(c.vlrts));
     os << buf;
+  }
+  if (!kv_shards.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "kv tier: %zu shards active, %llu handoff replays, %llu "
+                  "read repairs, %llu migrations; hottest shards:\n",
+                  kv_shards.size(),
+                  static_cast<unsigned long long>(kv_handoff_replays),
+                  static_cast<unsigned long long>(kv_read_repairs),
+                  static_cast<unsigned long long>(kv_migrations));
+    os << buf;
+    const std::size_t top = std::min<std::size_t>(3, kv_shards.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const KvShardSummary& s = kv_shards[i];
+      std::snprintf(buf, sizeof buf,
+                    "  shard %-3d %8llu ops, mean wait %8.2f ms, max %8.2f "
+                    "ms, %llu degraded\n",
+                    s.shard, static_cast<unsigned long long>(s.ops),
+                    s.mean_wait_ms, s.max_wait_ms,
+                    static_cast<unsigned long long>(s.degraded_ops));
+      os << buf;
+    }
   }
   if (admission_shed_events || deadline_shed_events || limit_updates) {
     std::snprintf(buf, sizeof buf,
@@ -441,9 +522,21 @@ void CausalChainReport::to_json(std::ostream& os) const {
     json_link(os, "queue_spike", c.queue_spike);
     json_link(os, "retransmits", c.retransmits);
     json_link(os, "sheds", c.sheds);
+    json_link(os, "kv_quorum", c.kv_quorum);
     os << "\"vlrts\":" << c.vlrts << "}";
   }
-  os << "],\"vlrt\":[";
+  os << "],\"kv\":{\"handoff_replays\":" << kv_handoff_replays
+     << ",\"read_repairs\":" << kv_read_repairs
+     << ",\"migrations\":" << kv_migrations << ",\"shards\":[";
+  for (std::size_t i = 0; i < kv_shards.size(); ++i) {
+    const KvShardSummary& s = kv_shards[i];
+    if (i) os << ",";
+    os << "{\"shard\":" << s.shard << ",\"ops\":" << s.ops
+       << ",\"degraded_ops\":" << s.degraded_ops
+       << ",\"mean_wait_ms\":" << s.mean_wait_ms
+       << ",\"max_wait_ms\":" << s.max_wait_ms << "}";
+  }
+  os << "]},\"vlrt\":[";
   for (std::size_t i = 0; i < vlrt.size(); ++i) {
     const VlrtAttribution& v = vlrt[i];
     if (i) os << ",";

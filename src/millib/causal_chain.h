@@ -40,6 +40,9 @@ struct CausalChainConfig {
   sim::SimTime lb_freeze_min = sim::SimTime::millis(100);
   /// VLRT definition (paper: response time > 1 s).
   double vlrt_threshold_ms = 1000.0;
+  /// A KV quorum op completing with at least this much wait counts as slow
+  /// when joining kv_quorum_read/write events onto a KV-tier episode.
+  double kv_slow_quorum_ms = 50.0;
 };
 
 /// One reconstructed hop of the chain, relative to its OS episode.
@@ -70,6 +73,12 @@ struct EpisodeChain {
   ChainLink frozen_lb;
   ChainLink queue_spike;
   ChainLink retransmits;
+  /// Slow KV quorum completions (wait >= kv_slow_quorum_ms) during the
+  /// episode — the key-level signature of a hot-shard millibottleneck:
+  /// a stalled shard member slows every quorum touching that shard, which
+  /// no server-choice policy upstream can route around. Only joined onto
+  /// KV-tier episodes; not part of full_chain().
+  ChainLink kv_quorum;
   /// Overload-control sheds (admission_shed / deadline_expired events) fired
   /// while the episode — plus slack — was in progress: the counter-measures
   /// reacting to the stall. Not part of full_chain(): sheds only exist when
@@ -109,9 +118,27 @@ struct VlrtAttribution {
   std::int32_t tomcat = -1;
 };
 
+/// Per-shard digest of the KV quorum stream (kv_quorum_read/write events,
+/// node = shard). The hottest shards head the report's kv_shards list —
+/// the trace-level view of where key-popularity skew landed.
+struct KvShardSummary {
+  int shard = -1;
+  std::uint64_t ops = 0;
+  /// Ops that completed while the shard was below full replication.
+  std::uint64_t degraded_ops = 0;
+  double mean_wait_ms = 0.0;
+  double max_wait_ms = 0.0;
+};
+
 struct CausalChainReport {
   std::vector<EpisodeChain> chains;
   std::vector<VlrtAttribution> vlrt;
+  /// KV data-tier activity (empty / zero when the trace has no KV events).
+  /// kv_shards is sorted hottest-first by mean quorum wait.
+  std::vector<KvShardSummary> kv_shards;
+  std::uint64_t kv_handoff_replays = 0;
+  std::uint64_t kv_read_repairs = 0;
+  std::uint64_t kv_migrations = 0;
   /// Events inspected / per-request joins, for sanity output.
   std::uint64_t events = 0;
   std::uint64_t requests = 0;

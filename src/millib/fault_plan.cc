@@ -16,6 +16,8 @@ std::string to_string(FaultKind k) {
     case FaultKind::kLinkFault: return "link_fault";
     case FaultKind::kPoolLeak: return "pool_leak";
     case FaultKind::kDiskDegrade: return "disk_degrade";
+    case FaultKind::kReplicaCrash: return "replica_crash";
+    case FaultKind::kShardMigration: return "shard_migration";
   }
   return "?";
 }
@@ -37,7 +39,11 @@ std::string FaultSpec::to_string() const {
     case FaultKind::kPoolLeak:
       os << " leak_slots=" << leak_slots;
       break;
+    case FaultKind::kShardMigration:
+      os << " severity=" << severity;  // migration copy intensity
+      break;
     case FaultKind::kCrash:
+    case FaultKind::kReplicaCrash:
       break;
   }
   return os.str();
@@ -57,9 +63,9 @@ FaultPlan FaultPlan::randomized(std::uint64_t seed,
                                 int num_workers) {
   if (num_workers <= 0)
     throw std::invalid_argument("FaultPlan: num_workers must be positive");
-  constexpr std::size_t kNumKinds = 6;
+  constexpr std::size_t kNumKinds = 8;
   if (config.kind_weights.size() != kNumKinds)
-    throw std::invalid_argument("FaultPlan: kind_weights must have 6 entries");
+    throw std::invalid_argument("FaultPlan: kind_weights must have 8 entries");
 
   sim::Rng rng(seed);
   FaultPlan plan;

@@ -22,6 +22,11 @@ enum class FaultKind : std::uint8_t {
   kLinkFault,        // extra latency + packet loss on the client link
   kPoolLeak,         // endpoint slots held past their response
   kDiskDegrade,      // writeback bandwidth scaled down (longer flush stalls)
+  // -- KV data tier (appended to keep prior numeric values stable) ------------
+  kReplicaCrash,     // one KV replica fail-stops; quorums continue at N-1,
+                     // hinted handoff replays the missed writes on restart
+  kShardMigration,   // seeded rebalance of one shard (worker = shard index);
+                     // chunked copy CPU + a write-shedding handover window
 };
 
 std::string to_string(FaultKind k);
@@ -60,7 +65,10 @@ struct FaultPlanConfig {
   sim::SimTime max_duration = sim::SimTime::millis(1800);
   std::size_t max_faults = 16;
   /// Relative draw weights indexed by FaultKind order; zero disables a kind.
-  std::vector<double> kind_weights = {3, 1, 2, 2, 1, 1};
+  /// The KV kinds default to zero (no-ops against a MySQL tier); kv chaos
+  /// scenarios raise them explicitly. Appending zero-weight tail entries
+  /// leaves every existing seed's draw sequence intact.
+  std::vector<double> kind_weights = {3, 1, 2, 2, 1, 1, 0, 0};
   double min_severity = 0.6;
   double max_severity = 1.0;
   sim::SimTime max_extra_latency = sim::SimTime::millis(20);

@@ -32,6 +32,11 @@ const char* to_string(EventKind k) {
     case EventKind::kAdmissionShed: return "admission_shed";
     case EventKind::kDeadlineExpired: return "deadline_expired";
     case EventKind::kLimitUpdate: return "limit_update";
+    case EventKind::kKvQuorumRead: return "kv_quorum_read";
+    case EventKind::kKvQuorumWrite: return "kv_quorum_write";
+    case EventKind::kKvHandoffReplay: return "kv_handoff_replay";
+    case EventKind::kKvReadRepair: return "kv_read_repair";
+    case EventKind::kKvMigration: return "kv_migration";
   }
   return "?";
 }
@@ -43,6 +48,7 @@ const char* to_string(Tier t) {
     case Tier::kBalancer: return "balancer";
     case Tier::kTomcat: return "tomcat";
     case Tier::kMysql: return "mysql";
+    case Tier::kKv: return "kv";
   }
   return "?";
 }

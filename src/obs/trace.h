@@ -59,6 +59,18 @@ enum class EventKind : std::uint8_t {
                     // aux = proto::ShedReason)
   kLimitUpdate,     // AIMD limit adapted (value = new limit, aux = +1
                     // increase / -1 decrease)
+  // -- KV data tier (appended to keep prior numeric values stable) --------------
+  kKvQuorumRead,    // read quorum met (node = shard, value = wait ms,
+                    // aux = down preference-list members at completion)
+  kKvQuorumWrite,   // write quorum met (node = shard, value = wait ms,
+                    // aux = down preference-list members at completion)
+  kKvHandoffReplay, // one stashed hint replayed to its recovered home
+                    // (node = home replica, worker = holder replica)
+  kKvReadRepair,    // stale replica repaired after quorum divergence
+                    // (node = shard, worker = repaired replica)
+  kKvMigration,     // shard migration lifecycle (node = shard, worker =
+                    // destination replica; aux = +1 start / 0 chunk / -1 done
+                    // / -2 aborted)
 };
 
 const char* to_string(EventKind k);
@@ -70,6 +82,7 @@ enum class Tier : std::uint8_t {
   kBalancer,  // node = owning Apache, worker = Tomcat candidate
   kTomcat,
   kMysql,
+  kKv,  // replicated KV data tier (node = shard or replica per EventKind)
 };
 
 const char* to_string(Tier t);

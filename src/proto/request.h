@@ -33,6 +33,13 @@ struct Request {
   sim::SimTime tomcat_demand;       // servlet CPU
   std::uint8_t db_queries = 0;      // round trips to MySQL
   sim::SimTime mysql_demand;        // CPU per query (query-cache hits are cheap)
+  /// How many of the db round trips are writes (the *last* db_writes trips;
+  /// the data tier routes them through the write quorum). Zero for pure
+  /// reads and for the browse-only mix.
+  std::uint8_t db_writes = 0;
+  /// Data key the interaction touches (Zipf-popular under --zipf-s). The KV
+  /// tier shards by this key; the MySQL tier ignores it.
+  std::uint64_t key = 0;
 
   // -- sizes (drive the total_traffic policy and log volume) ----------------
   std::uint32_t request_bytes = 0;
@@ -66,6 +73,13 @@ struct Request {
   ShedReason shed = ShedReason::kNone;
   /// Client-side re-attempts after a retriable 503 (admission/brownout).
   std::uint8_t shed_retries = 0;
+
+  // -- KV data tier ----------------------------------------------------------
+  /// Total time this request spent waiting on KV quorums (all round trips),
+  /// and the share of it spent while the touched shard was degraded (one or
+  /// more preference-list replicas down).
+  sim::SimTime kv_quorum_wait;
+  sim::SimTime kv_degraded_wait;
 };
 
 inline const char* to_string(ShedReason r) {

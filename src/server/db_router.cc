@@ -4,6 +4,26 @@
 
 namespace ntier::server {
 
+const char* to_string(DbTier t) {
+  switch (t) {
+    case DbTier::kMysql: return "mysql";
+    case DbTier::kKv: return "kv";
+  }
+  return "?";
+}
+
+bool db_tier_from_string(const std::string& s, DbTier* out) {
+  if (s == "mysql") { *out = DbTier::kMysql; return true; }
+  if (s == "kv") { *out = DbTier::kKv; return true; }
+  return false;
+}
+
+DbRouter::DbRouter(sim::Simulation& simu, kv::KvTier* tier,
+                   DbRouterConfig config)
+    : sim_(simu), kv_(tier), config_(config), link_(config.link_latency) {
+  if (!kv_) throw std::invalid_argument("DbRouter: null kv tier");
+}
+
 DbRouter::DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
                    DbRouterConfig config)
     : sim_(simu),
@@ -38,7 +58,7 @@ DbRouter::DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
 }
 
 void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
-                     std::function<void()> done) {
+                     bool is_write, std::function<void()> done) {
   if (config_.overload.deadlines && req->deadline != sim::SimTime::zero() &&
       sim_.now() > req->deadline) {
     // The request can no longer finish in time; executing this query (and
@@ -48,6 +68,21 @@ void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
     ++ostats_.deadline_sheds;
     ostats_.wasted_work_avoided_ms += demand.to_millis();
     done();
+    return;
+  }
+  if (kv_) {
+    // Key-routed quorum operation. A failed quorum surfaces exactly like a
+    // SQL error: counted here, and the servlet's round trip completes so
+    // request conservation is untouched.
+    ++routed_;
+    const auto finish = [this, done = std::move(done)](bool ok) mutable {
+      if (!ok) ++errors_;
+      done();
+    };
+    if (is_write)
+      kv_->write(req, demand, finish);
+    else
+      kv_->read(req, demand, finish);
     return;
   }
   balancer_->assign(req, [this, req, demand,

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "control/overload.h"
+#include "kv/tier.h"
 #include "lb/load_balancer.h"
 #include "net/link.h"
 #include "probe/probe_pool.h"
@@ -13,6 +15,16 @@
 #include "sim/simulation.h"
 
 namespace ntier::server {
+
+/// Which data tier sits behind the servlet's DB access path.
+enum class DbTier : std::uint8_t {
+  kMysql,  // single-primary MySQL replicas behind the replica balancer
+  kKv,     // replicated sharded KV tier, routed by request key
+};
+
+const char* to_string(DbTier t);
+/// "mysql" / "kv" → DbTier; false on anything else.
+bool db_tier_from_string(const std::string& s, DbTier* out);
 
 /// Configuration of the servlet-side database access path.
 struct DbRouterConfig {
@@ -48,6 +60,11 @@ class DbRouter {
  public:
   DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
            DbRouterConfig config = {});
+  /// KV-backed router: queries route by request key into the shared quorum
+  /// tier instead of through the replica balancer. The balancer, probe pool
+  /// and per-replica pools do not exist in this mode (has_balancer() is
+  /// false); overload deadline shedding still applies at the router.
+  DbRouter(sim::Simulation& simu, kv::KvTier* tier, DbRouterConfig config = {});
 
   DbRouter(const DbRouter&) = delete;
   DbRouter& operator=(const DbRouter&) = delete;
@@ -56,11 +73,22 @@ class DbRouter {
   /// duration, run `demand` on the replica, return. `done` always fires;
   /// unroutable queries (every replica sidelined under kNonBlocking) count
   /// as errors and complete immediately — the servlet surfaces a SQL error
-  /// rather than hanging.
-  void query(const proto::RequestPtr& req, sim::SimTime demand,
+  /// rather than hanging. `is_write` routes the trip through the KV write
+  /// quorum (ignored by the MySQL tier, which models every trip the same).
+  void query(const proto::RequestPtr& req, sim::SimTime demand, bool is_write,
              std::function<void()> done);
+  /// Read round trip (kept for call sites predating the KV tier).
+  void query(const proto::RequestPtr& req, sim::SimTime demand,
+             std::function<void()> done) {
+    query(req, demand, /*is_write=*/false, std::move(done));
+  }
 
-  int num_replicas() const { return balancer_->num_workers(); }
+  DbTier tier() const { return kv_ ? DbTier::kKv : DbTier::kMysql; }
+  bool has_balancer() const { return balancer_ != nullptr; }
+  kv::KvTier* kv_tier() { return kv_; }
+  int num_replicas() const {
+    return kv_ ? kv_->num_replicas() : balancer_->num_workers();
+  }
   MySqlServer& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
   lb::LoadBalancer& balancer() { return *balancer_; }
   /// Null unless DbRouterConfig::probe.enabled.
@@ -73,6 +101,7 @@ class DbRouter {
  private:
   sim::Simulation& sim_;
   std::vector<MySqlServer*> replicas_;
+  kv::KvTier* kv_ = nullptr;  // non-null iff constructed in kKv mode
   DbRouterConfig config_;
   net::Link link_;
   std::unique_ptr<lb::LoadBalancer> balancer_;

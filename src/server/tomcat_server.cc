@@ -147,8 +147,11 @@ void TomcatServer::db_round_trips(const proto::RequestPtr& req, int remaining,
     return;
   }
   // Each round trip checks a connection out of the router's pool and back
-  // in, as the RUBBoS servlets do per query.
-  db_.query(req, req->mysql_demand,
+  // in, as the RUBBoS servlets do per query. The *last* db_writes trips are
+  // writes (reads gather, the write commits), which the KV tier routes
+  // through the write quorum.
+  const bool is_write = remaining <= static_cast<int>(req->db_writes);
+  db_.query(req, req->mysql_demand, is_write,
             [this, req, remaining, done = std::move(done)]() mutable {
               db_round_trips(req, remaining - 1, std::move(done));
             });

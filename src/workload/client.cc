@@ -172,6 +172,8 @@ void ClientPopulation::finish(std::uint16_t client, const proto::RequestPtr& req
     rec.deadline = req->deadline;
     rec.priority = req->priority;
     rec.shed = req->shed;
+    rec.kv_wait_ms = req->kv_quorum_wait.to_millis();
+    rec.kv_degraded_ms = req->kv_degraded_wait.to_millis();
     log_.on_complete(rec);
   }
   think_then_next(client);

@@ -1,5 +1,6 @@
 #include "workload/rubbos.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ntier::workload {
@@ -93,16 +94,40 @@ void assign_priorities(std::vector<InteractionType>& table) {
   for (std::size_t i = 7; i <= 10; ++i) table[i].priority = 2;   // searches
 }
 
+/// Which interactions commit data, and with how many of their round trips
+/// (indices follow build_table() order). The store/moderate pages end in a
+/// commit; the multi-query stores also update an index row.
+void assign_db_writes(std::vector<InteractionType>& table) {
+  table[15].db_writes = 1;  // AcceptStory
+  table[16].db_writes = 1;  // RejectStory
+  table[18].db_writes = 2;  // StoreStory
+  table[20].db_writes = 2;  // StoreComment
+  table[21].db_writes = 1;  // ModerateComment
+  table[23].db_writes = 1;  // StoreRegisterUser
+}
+
 }  // namespace
 
 RubbosWorkload::RubbosWorkload(WorkloadParams params)
     : params_(params), table_(build_table()), successors_(build_successors()) {
   if (params_.priority_mix == PriorityMix::kRubbos) assign_priorities(table_);
+  assign_db_writes(table_);
   weights_browse_.reserve(table_.size());
   weights_rw_.reserve(table_.size());
   for (const auto& t : table_) {
     weights_browse_.push_back(t.weight_browse);
     weights_rw_.push_back(t.weight_rw);
+  }
+  if (params_.key_space > 0) {
+    // CDF over ranks: weight(rank) = (rank+1)^-s. Precomputed once so a key
+    // draw is a binary search instead of Rng::zipf's linear scan.
+    zipf_cdf_.reserve(params_.key_space);
+    double total = 0;
+    for (std::uint64_t r = 0; r < params_.key_space; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -params_.zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+    for (double& c : zipf_cdf_) c /= total;
   }
 }
 
@@ -157,6 +182,15 @@ proto::RequestPtr RubbosWorkload::materialize(sim::Rng& rng, std::uint64_t id,
   req->response_bytes = it.response_bytes;
   req->log_bytes = it.log_bytes;
   req->priority = it.priority;
+  req->db_writes = std::min(it.db_writes, req->db_queries);
+  if (params_.key_space > 0) {
+    // Appended after every pre-existing draw so the stream (and therefore
+    // every MySQL-mode run) is byte-identical when key_space == 0.
+    const auto pos = std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(),
+                                      rng.uniform01());
+    req->key = static_cast<std::uint64_t>(pos - zipf_cdf_.begin());
+    if (req->key >= params_.key_space) req->key = params_.key_space - 1;
+  }
   return req;
 }
 

@@ -30,6 +30,10 @@ struct InteractionType {
   /// user would lose), 1 = normal (views, browsing), 2 = low (searches and
   /// archive pages — easy to retry, shed first under overload).
   std::uint8_t priority = 1;
+  /// How many of the interaction's DB round trips commit data (the last
+  /// db_writes trips — reads gather, the write commits). The KV tier routes
+  /// them through the write quorum; MySQL treats every trip the same.
+  std::uint8_t db_writes = 0;
 };
 
 enum class Mix { kBrowseOnly, kReadWrite };
@@ -63,6 +67,12 @@ struct WorkloadParams {
   /// Brownout priority stamping (consumed by the overload-control layer;
   /// harmless when no limiter is active).
   PriorityMix priority_mix = PriorityMix::kUniform;
+  /// Data-key popularity for the sharded KV tier: each request touches one
+  /// key drawn Zipf(zipf_s) from [0, key_space). Zero keys disables the
+  /// draw entirely (MySQL mode — keeps the RNG stream identical to before
+  /// the KV tier existed). Rank 0 is the hottest key.
+  std::uint64_t key_space = 0;
+  double zipf_s = 0.8;
 };
 
 /// Generator of RUBBoS interactions: owns the 24-entry interaction table and
@@ -116,6 +126,9 @@ class RubbosWorkload {
   std::vector<double> weights_browse_;
   std::vector<double> weights_rw_;
   std::vector<std::vector<std::size_t>> successors_;
+  /// Zipf CDF over key ranks (empty when key_space == 0); a key draw is one
+  /// uniform + binary search, not the O(n) scan of Rng::zipf.
+  std::vector<double> zipf_cdf_;
 };
 
 }  // namespace ntier::workload

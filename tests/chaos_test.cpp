@@ -135,5 +135,74 @@ TEST(ChaosDeterminism, IdenticalSeedsProduceIdenticalTraces) {
   EXPECT_NE(a.fault_trace, d.fault_trace);
 }
 
+// -- KV chaos matrix: replica-crash and shard-migration cells -----------------
+
+KvChaosMatrixOptions small_kv_matrix() {
+  KvChaosMatrixOptions opt;
+  opt.chaos_seed = 42;
+  opt.num_apaches = 2;
+  opt.num_tomcats = 3;
+  opt.kv_replicas = 5;
+  opt.num_clients = 200;
+  opt.think_mean = SimTime::millis(200);
+  opt.traffic = SimTime::seconds(6);
+  opt.drain = SimTime::seconds(6);
+  return opt;
+}
+
+TEST(KvChaosMatrix, PlanIsSeedDeterministic) {
+  const auto opt = small_kv_matrix();
+  EXPECT_EQ(kv_matrix_plan(opt).trace_string(),
+            kv_matrix_plan(opt).trace_string());
+  auto other = opt;
+  other.chaos_seed = 43;
+  EXPECT_NE(kv_matrix_plan(opt).trace_string(),
+            kv_matrix_plan(other).trace_string());
+  // The schedule holds both KV fault families.
+  const std::string trace = kv_matrix_plan(opt).trace_string();
+  EXPECT_NE(trace.find(millib::to_string(millib::FaultKind::kReplicaCrash)),
+            std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find(millib::to_string(millib::FaultKind::kShardMigration)),
+            std::string::npos)
+      << trace;
+}
+
+// The hinted-handoff accounting invariant across the whole KV cell slice:
+// every write issued is applied, shed by a handover, or counted as
+// quorum-failed, and every missed per-replica write resolves to a replayed
+// hint or a counted drop — no silent loss. The plan keeps the crashes
+// non-overlapping, so with N=3, R=W=2 no quorum op may fail at all.
+TEST(KvChaosMatrix, QuorumsAndHandoffAccountingHoldInEveryCell) {
+  const auto results = run_kv_chaos_matrix(small_kv_matrix());
+  ASSERT_EQ(results.size(), 8u);  // 4 policies x 2 mechanisms
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.label);
+    EXPECT_TRUE(r.invariants.ok()) << r.invariants.to_string();
+    EXPECT_GT(r.invariants.kv_reads_issued, 0u);
+    EXPECT_GT(r.invariants.kv_writes_issued, 0u);
+    EXPECT_EQ(r.invariants.kv_quorum_failed_reads, 0u);
+    EXPECT_EQ(r.invariants.kv_quorum_failed_writes, 0u);
+    EXPECT_EQ(r.invariants.kv_hints_pending, 0u);
+    EXPECT_EQ(r.invariants.kv_crashed_dispatches, 0u);
+    EXPECT_EQ(r.invariants.kv_ops_in_flight, 0u);
+    // Both crashes bit (missed writes replayed) and the shard spent time
+    // below full replication.
+    EXPECT_GT(r.summary.kv_hints_replayed, 0u);
+    EXPECT_GT(r.summary.kv_degraded_ms, 0.0);
+  }
+}
+
+TEST(KvChaosMatrix, CellsAreSeedDeterministic) {
+  const auto opt = small_kv_matrix();
+  const auto a = run_kv_chaos_matrix(opt);
+  const auto b = run_kv_chaos_matrix(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fault_trace, b[i].fault_trace);
+    EXPECT_EQ(a[i].summary.to_json_string(), b[i].summary.to_json_string());
+  }
+}
+
 }  // namespace
 }  // namespace ntier::experiment

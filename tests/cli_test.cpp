@@ -187,6 +187,71 @@ TEST(Cli, DbRouterFlags) {
             lb::MechanismKind::kNonBlocking);
 }
 
+TEST(Cli, KvTierFlagsParseAndRoundTrip) {
+  const auto r = parse({"--db-tier", "kv", "--kv", "replicas=5,n=3,r=2,w=2",
+                        "--zipf-s", "1.1", "--key-space", "5000",
+                        "--kv-millibottlenecks"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& c = r.options->config;
+  EXPECT_EQ(c.db_tier, server::DbTier::kKv);
+  EXPECT_EQ(c.kv.replicas, 5);
+  EXPECT_EQ(c.kv.n, 3);
+  EXPECT_EQ(c.kv.r, 2);
+  EXPECT_EQ(c.kv.w, 2);
+  // The parsed config round-trips through its canonical rendering.
+  std::string err;
+  const auto again = kv::kv_config_from_string(c.kv.to_string(), &err);
+  ASSERT_TRUE(again.has_value()) << err;
+  EXPECT_EQ(again->to_string(), c.kv.to_string());
+  EXPECT_DOUBLE_EQ(c.workload.zipf_s, 1.1);
+  EXPECT_EQ(c.workload.key_space, 5'000u);
+  EXPECT_TRUE(c.kv_millibottlenecks);
+}
+
+TEST(Cli, DbTierParsesBothNames) {
+  EXPECT_EQ(parse({"--db-tier", "mysql"}).options->config.db_tier,
+            server::DbTier::kMysql);
+  EXPECT_EQ(parse({"--db-tier", "kv"}).options->config.db_tier,
+            server::DbTier::kKv);
+}
+
+TEST(Cli, RejectsUnknownDbTier) {
+  const auto r = parse({"--db-tier", "postgres"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown db tier: postgres"), std::string::npos);
+  EXPECT_NE(r.error.find("expected mysql|kv"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadKvConfig) {
+  // The quorum-geometry reason surfaces through the CLI error verbatim.
+  const auto r = parse({"--db-tier", "kv", "--kv", "n=3,r=1,w=1"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("bad --kv:"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("r+w must exceed n"), std::string::npos) << r.error;
+  EXPECT_FALSE(parse({"--db-tier", "kv", "--kv", "bogus=1"}).ok());
+  EXPECT_FALSE(parse({"--db-tier", "kv", "--zipf-s", "-1"}).ok());
+  EXPECT_FALSE(parse({"--db-tier", "kv", "--key-space", "0"}).ok());
+}
+
+TEST(Cli, RejectsKvFlagsWithoutKvTier) {
+  for (auto args : {std::vector<std::string>{"--zipf-s", "1.0"},
+                    std::vector<std::string>{"--key-space", "1000"},
+                    std::vector<std::string>{"--kv", "replicas=5"},
+                    std::vector<std::string>{"--kv-millibottlenecks"}}) {
+    const auto r = parse_cli(args);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("require --db-tier kv"), std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Cli, RunCliKvSmoke) {
+  auto r = parse({"--db-tier", "kv", "--clients", "200", "--think-ms", "100",
+                  "--duration-s", "1", "--quiet", "--no-millibottlenecks"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(run_cli(*r.options), 0);
+}
+
 TEST(Cli, RunCliSmoke) {
   // A tiny end-to-end run through the CLI surface: 200 clients, 1 s.
   auto r = parse({"--clients", "200", "--think-ms", "100", "--duration-s", "1",

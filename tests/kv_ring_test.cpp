@@ -1,0 +1,84 @@
+#include "kv/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ntier::kv {
+namespace {
+
+TEST(HashRing, LayoutIsAPureFunctionOfParameters) {
+  const HashRing a(5, 8);
+  const HashRing b(5, 8);
+  for (std::uint64_t s = 0; s < 64; ++s)
+    EXPECT_EQ(a.preference_list(s, 3), b.preference_list(s, 3)) << "shard " << s;
+  EXPECT_EQ(HashRing::shard_point(7), HashRing::shard_point(7));
+}
+
+TEST(HashRing, PreferenceListHoldsNDistinctValidReplicas) {
+  const HashRing ring(5, 8);
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    const auto pref = ring.preference_list(s, 3);
+    ASSERT_EQ(pref.size(), 3u);
+    std::set<int> distinct(pref.begin(), pref.end());
+    EXPECT_EQ(distinct.size(), 3u) << "shard " << s;
+    for (int r : pref) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 5);
+    }
+  }
+}
+
+TEST(HashRing, NFloorsAtTheReplicaCount) {
+  const HashRing ring(3, 8);
+  const auto pref = ring.preference_list(0, 5);
+  // Only 3 distinct replicas exist; the walk cannot produce more.
+  EXPECT_EQ(std::set<int>(pref.begin(), pref.end()).size(), 3u);
+}
+
+TEST(HashRing, EveryReplicaOwnsSomeShard) {
+  // 16 shards x 3 preference slots over 5 replicas: the vnode spread must
+  // give every replica at least one slot (deterministic layout, so this is
+  // a fixed property of the (5, 8) ring, not a probabilistic one).
+  const HashRing ring(5, 8);
+  std::set<int> used;
+  for (std::uint64_t s = 0; s < 16; ++s)
+    for (int r : ring.preference_list(s, 3)) used.insert(r);
+  EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(HashRing, NextAliveSkipsExcludedAndDeadReplicas) {
+  const HashRing ring(5, 8);
+  const auto pref = ring.preference_list(0, 3);
+  std::vector<bool> alive(5, true);
+
+  const int standin = ring.next_alive(0, pref, alive);
+  ASSERT_GE(standin, 0);
+  // The stand-in continues the walk past the preference list.
+  EXPECT_EQ(std::find(pref.begin(), pref.end(), standin), pref.end());
+
+  // Kill the stand-in: the walk must move on to the remaining replica.
+  alive[static_cast<std::size_t>(standin)] = false;
+  const int second = ring.next_alive(0, pref, alive);
+  ASSERT_GE(second, 0);
+  EXPECT_NE(second, standin);
+  EXPECT_EQ(std::find(pref.begin(), pref.end(), second), pref.end());
+
+  // No replica outside the preference list left alive -> -1.
+  alive[static_cast<std::size_t>(second)] = false;
+  EXPECT_EQ(ring.next_alive(0, pref, alive), -1);
+}
+
+TEST(HashRing, NextAliveFallsBackInsidePreferenceListWhenAskedTo) {
+  // With an empty exclude list the first alive replica on the walk wins —
+  // the migration-destination variant of the same walk.
+  const HashRing ring(5, 8);
+  std::vector<bool> alive(5, false);
+  alive[2] = true;
+  EXPECT_EQ(ring.next_alive(0, {}, alive), 2);
+}
+
+}  // namespace
+}  // namespace ntier::kv

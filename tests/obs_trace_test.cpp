@@ -93,7 +93,7 @@ TEST(TraceIo, JsonlRoundTripPreservesEveryField) {
 // stale "last kind" sentinel is exactly the regression this catches.
 TEST(TraceIo, EveryEventKindRoundTrips) {
   TraceCollector trace;
-  const int last = static_cast<int>(EventKind::kLimitUpdate);
+  const int last = static_cast<int>(EventKind::kKvMigration);
   for (int k = 0; k <= last; ++k)
     trace.push(make_event(k + 1, static_cast<EventKind>(k), 1));
   std::ostringstream os;

@@ -27,6 +27,7 @@ usage: ntier_trace TRACE.jsonl [flags]
   --slack-ms X    episode-join temporal slack             (default 150)
   --vlrt-ms X     VLRT response-time threshold            (default 1000)
   --freeze-ms X   frozen-lb_value minimum gap             (default 100)
+  --kv-slow-ms X  slow-KV-quorum wait threshold           (default 50)
   --probe-staleness-ms X  probe-result lifetime used for the freshness
                   stats; match the run's --probe-staleness (default 400)
   --json FILE     also write the report as JSON ("-" = stdout)
@@ -75,6 +76,9 @@ int main(int argc, char** argv) {
     } else if (a == "--freeze-ms") {
       if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --freeze-ms\n"; return 2; }
       cfg.lb_freeze_min = ntier::sim::SimTime::from_millis(x);
+    } else if (a == "--kv-slow-ms") {
+      if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --kv-slow-ms\n"; return 2; }
+      cfg.kv_slow_quorum_ms = x;
     } else if (a == "--probe-staleness-ms") {
       if (++i >= argc || !parse_ms(argv[i], x)) { std::cerr << "bad --probe-staleness-ms\n"; return 2; }
       probe_staleness_ms = x;
