@@ -62,7 +62,8 @@ inline void append_json_row(const BenchOptions& opt, Experiment& e,
     << s.mechanism << "\",\"seed\":" << e.config().seed
     << ",\"completed\":" << s.completed << ",\"dropped\":" << s.dropped
     << ",\"balancer_errors\":" << s.balancer_errors
-    << ",\"mean_ms\":" << s.mean_rt_ms << ",\"p99_ms\":" << s.p99_ms
+    << ",\"mean_ms\":" << s.mean_rt_ms << ",\"p50_ms\":" << s.p50_ms
+    << ",\"p99_ms\":" << s.p99_ms
     << ",\"p999_ms\":" << s.p999_ms << ",\"vlrt_count\":" << e.log().vlrt_count()
     << ",\"vlrt_fraction\":" << s.vlrt_fraction
     << ",\"goodput_rps\":" << s.goodput_rps
@@ -76,6 +77,11 @@ inline void append_json_row(const BenchOptions& opt, Experiment& e,
     << ",\"kv_migration_shed\":" << s.kv_migration_shed
     << ",\"kv_hints_replayed\":" << s.kv_hints_replayed
     << ",\"kv_degraded_ms\":" << s.kv_degraded_ms
+    << ",\"online_episodes\":" << s.online_episodes
+    << ",\"online_matched\":" << s.online_matched
+    << ",\"online_false_positives\":" << s.online_false_positives
+    << ",\"detection_latency_ms\":" << s.online_median_detection_ms
+    << ",\"trace_kept_fraction\":" << s.trace_kept_fraction
     << ",\"wall_ms\":" << wall_ms << "}\n";
 }
 
@@ -149,6 +155,10 @@ inline void append_sweep_json_row(const BenchOptions& opt,
     << ",\"goodput_rps_ci95\":" << agg.goodput_rps.ci95_half
     << ",\"total_sheds\":" << agg.total_sheds.mean
     << ",\"wasted_work_avoided_ms\":" << agg.wasted_work_avoided_ms.mean
+    << ",\"online_episodes\":" << agg.online_episodes.mean
+    << ",\"online_false_positives\":" << agg.online_false_positives.mean
+    << ",\"detection_latency_ms\":" << agg.online_median_detection_ms.mean
+    << ",\"trace_kept_fraction\":" << agg.trace_kept_fraction.mean
     << ",\"wall_ms\":" << wall_ms << "}\n";
 }
 

@@ -174,6 +174,18 @@ traces
   --trace-format F       jsonl (default; ntier_trace's input) | chrome
                          (Perfetto / chrome://tracing)
 
+observability
+  --telemetry            streaming per-tier instruments (multi-resolution
+                         timelines + per-window quantile sketches); adds
+                         sketch quantiles to the summary and, with --csv,
+                         writes telemetry.csv
+  --detect               online millibottleneck detection during the run,
+                         scored against the causal-chain ground truth
+  --trace-sample S       full (default) | tail — tail keeps only
+                         detector-marked episode windows, VLRT requests
+                         end to end and a deterministic head sample
+                         (requires --detect and --trace)
+
 output
   --json FILE            write the run summary as JSON
   --csv DIR              dump tier queue/VLRT series as CSV
@@ -354,6 +366,16 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto f = obs::parse_trace_format(v);
       if (!f) return fail("unknown trace format: " + v);
       o.trace_format = *f;
+    } else if (a == "--telemetry") {
+      o.config.telemetry.enabled = true;
+    } else if (a == "--detect") {
+      o.config.online_detect = true;
+    } else if (a == "--trace-sample") {
+      if (!value(v)) return fail("missing --trace-sample value");
+      if (v == "tail")
+        o.config.trace_tail.enabled = true;
+      else if (v != "full")
+        return fail("unknown trace sample mode: " + v + " (expected full|tail)");
     } else if (a == "--record-trace") {
       if (!value(o.record_trace_path)) return fail("missing --record-trace value");
     } else if (a == "--replay-trace") {
@@ -374,6 +396,12 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     return fail(
         "--sweep-seeds cannot be combined with --record-trace, "
         "--replay-trace, or --trace (traces are per-run artifacts)");
+  if (o.config.trace_tail.enabled &&
+      (!o.config.online_detect || o.trace_path.empty()))
+    return fail(
+        "--trace-sample tail requires --detect (the detector marks the "
+        "episode windows worth keeping) and --trace FILE (the sampled "
+        "output)");
   if (o.config.db_tier != server::DbTier::kKv &&
       (kv_config_set || zipf_set || key_space_set ||
        o.config.kv_millibottlenecks))
@@ -582,6 +610,28 @@ int run_cli(const CliOptions& options) {
                   << " ms\n";
       }
     }
+    if (e.online_detector()) {
+      std::cout << "online detection: " << summary.online_episodes
+                << " episodes (" << summary.online_matched << "/"
+                << summary.online_truth_episodes
+                << " ground-truth episodes matched, "
+                << summary.online_false_positives
+                << " false positives), median detection latency "
+                << summary.online_median_detection_ms << " ms, "
+                << summary.online_episode_vlrts << " VLRTs attributed\n";
+    }
+    if (e.trace() && e.trace()->tail_enabled()) {
+      std::cout << "tail sampling: kept " << summary.trace_events_kept
+                << " of " << summary.trace_events_seen << " events ("
+                << summary.trace_kept_fraction * 100.0 << "%)\n";
+    }
+    if (e.telemetry()) {
+      std::cout << "telemetry: " << e.telemetry()->size()
+                << " instruments, client rt p50/p99/p99.9 "
+                << summary.rt_sketch_p50_ms << " / "
+                << summary.rt_sketch_p99_ms << " / "
+                << summary.rt_sketch_p999_ms << " ms (sketch)\n";
+    }
   }
   if (!options.record_trace_path.empty() && !replay) {
     std::ofstream f(options.record_trace_path);
@@ -637,6 +687,11 @@ int run_cli(const CliOptions& options) {
           options.csv_dir + "/vlrt.csv", e.config().metric_window, {"vlrt"},
           {experiment::series_count(e.log().vlrt_series(),
                                     e.num_metric_windows())});
+      if (e.telemetry()) {
+        std::ofstream t(options.csv_dir + "/telemetry.csv");
+        if (!t) throw std::runtime_error("cannot open telemetry.csv");
+        e.telemetry()->to_csv(t);
+      }
     } catch (const std::exception& err) {
       std::cerr << "cannot write CSV series under --csv dir '"
                 << options.csv_dir << "': " << err.what() << "\n";

@@ -10,7 +10,9 @@
 #include "lb/policy.h"
 #include "millib/fault_plan.h"
 #include "millib/injector.h"
+#include "millib/online_detector.h"
 #include "net/retransmit.h"
+#include "obs/telemetry.h"
 #include "os/node.h"
 #include "server/apache_server.h"
 #include "server/db_router.h"
@@ -151,6 +153,20 @@ struct ExperimentConfig {
   /// Event-trace ring capacity (events; ~48 B each). The oldest events are
   /// overwritten once full.
   std::size_t trace_capacity = 4u << 20;
+  /// Streaming telemetry registry (src/obs/telemetry): per-tier instruments
+  /// with multi-resolution timelines and per-window quantile sketches, fed
+  /// from the live event stream. Independent of event_trace — enabling it
+  /// spins up the emission path with no retention ring.
+  obs::TelemetryConfig telemetry;
+  /// Online millibottleneck detection (millib::OnlineDetector) during the
+  /// run: flags episodes in real time from the same signature the offline
+  /// analyzer reconstructs, and drives tail-based trace sampling.
+  bool online_detect = false;
+  millib::OnlineDetectorConfig online_detector;
+  /// Tail-based trace sampling: keep only detector-marked episode windows,
+  /// VLRT requests end to end, node-level signals and a deterministic head
+  /// sample. Requires online_detect (the detector supplies the marks).
+  obs::TailConfig trace_tail;
 
   /// Offered load in requests/second (clients / think time).
   double offered_rps() const {

@@ -44,9 +44,40 @@ std::unique_ptr<os::Node> Experiment::make_node(const std::string& name,
 }
 
 void Experiment::build() {
-  if (config_.event_trace)
-    trace_ = std::make_unique<obs::TraceCollector>(
-        obs::TraceConfig{config_.trace_capacity});
+#ifndef NTIER_OBS_DISABLED
+  // Telemetry and online detection ride the event stream, so the collector
+  // exists whenever any consumer does; without event_trace it runs ring-less
+  // (pure event bus, no retention).
+  const bool obs_consumers = config_.telemetry.enabled || config_.online_detect;
+#else
+  // Compiled out: no events are ever emitted, so the new consumers would sit
+  // on a silent bus — don't build them (zero instruments, zero overhead).
+  const bool obs_consumers = false;
+#endif
+  if (config_.event_trace || obs_consumers) {
+    obs::TraceConfig tc;
+    tc.capacity = config_.trace_capacity;
+    // Tail sampling replaces full ring retention: the retained view (size(),
+    // for_each(), the written trace file) becomes the sampled trace.
+    tc.ring = config_.event_trace && !config_.trace_tail.enabled;
+    tc.tail = config_.trace_tail;
+    trace_ = std::make_unique<obs::TraceCollector>(tc);
+  }
+#ifndef NTIER_OBS_DISABLED
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::TelemetryRegistry>(config_.telemetry);
+    telemetry_feed_ = std::make_unique<obs::TelemetryFeed>(
+        *telemetry_, config_.num_tomcats);
+    trace_->add_sink(telemetry_feed_.get());
+  }
+  if (config_.online_detect) {
+    millib::OnlineDetectorConfig dc = config_.online_detector;
+    dc.window = config_.metric_window;
+    detector_ = std::make_unique<millib::OnlineDetector>(
+        dc, trace_->tail_enabled() ? trace_.get() : nullptr);
+    trace_->add_sink(detector_.get());
+  }
+#endif
 
   // -- nodes -------------------------------------------------------------------
   for (int i = 0; i < config_.num_apaches; ++i)
@@ -288,6 +319,19 @@ void Experiment::run() {
   for (auto& n : apache_nodes_) n->page_cache().finish_trace();
   for (auto& n : mysql_nodes_) n->page_cache().finish_trace();
   for (auto& n : kv_nodes_) n->page_cache().finish_trace();
+  // Close the online-detection books after every tier stopped emitting, then
+  // let the tail sampler make its final keep decisions with the detector's
+  // marks in place.
+  if (detector_) detector_->finish(config_.duration);
+  if (trace_ && trace_->tail_enabled()) trace_->finish_tail();
+}
+
+std::vector<std::vector<std::pair<sim::SimTime, sim::SimTime>>>
+Experiment::tomcat_truth_intervals() const {
+  std::vector<std::vector<std::pair<sim::SimTime, sim::SimTime>>> truth;
+  truth.reserve(static_cast<std::size_t>(num_tomcats()));
+  for (int t = 0; t < num_tomcats(); ++t) truth.push_back(flush_intervals(t));
+  return truth;
 }
 
 std::size_t Experiment::num_metric_windows() const {

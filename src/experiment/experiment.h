@@ -11,6 +11,8 @@
 #include "metrics/request_log.h"
 #include "metrics/sampler.h"
 #include "millib/injector.h"
+#include "millib/online_detector.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "os/node.h"
 #include "server/apache_server.h"
@@ -68,9 +70,25 @@ class Experiment {
   os::Node& kv_node(int i) { return *kv_nodes_[static_cast<std::size_t>(i)]; }
   /// Null unless config.fault_plan is non-empty.
   const ChaosController* chaos() const { return chaos_.get(); }
-  /// The cross-tier event collector; null unless config.event_trace.
+  /// The cross-tier event collector; null unless config.event_trace,
+  /// config.telemetry.enabled or config.online_detect (the latter two run it
+  /// ring-less as a pure event bus for their sinks).
   obs::TraceCollector* trace() { return trace_.get(); }
   const obs::TraceCollector* trace() const { return trace_.get(); }
+  /// Streaming telemetry registry; null unless config.telemetry.enabled
+  /// (always null under -DNTIER_OBS_DISABLED: zero instruments exist).
+  obs::TelemetryRegistry* telemetry() { return telemetry_.get(); }
+  const obs::TelemetryRegistry* telemetry() const { return telemetry_.get(); }
+  /// Online millibottleneck detector; null unless config.online_detect
+  /// (always null under -DNTIER_OBS_DISABLED: no events to consume).
+  millib::OnlineDetector* online_detector() { return detector_.get(); }
+  const millib::OnlineDetector* online_detector() const {
+    return detector_.get();
+  }
+  /// Ground truth for scoring the online detector: flush/stall intervals of
+  /// every Tomcat, indexed by node.
+  std::vector<std::vector<std::pair<sim::SimTime, sim::SimTime>>>
+  tomcat_truth_intervals() const;
   os::Node& apache_node(int i) { return *apache_nodes_[static_cast<std::size_t>(i)]; }
   os::Node& tomcat_node(int i) { return *tomcat_nodes_[static_cast<std::size_t>(i)]; }
   os::Node& mysql_node(int i = 0) { return *mysql_nodes_[static_cast<std::size_t>(i)]; }
@@ -154,6 +172,9 @@ class Experiment {
   std::unique_ptr<workload::ClientPopulation> clients_;
   std::unique_ptr<ChaosController> chaos_;
   std::unique_ptr<obs::TraceCollector> trace_;
+  std::unique_ptr<obs::TelemetryRegistry> telemetry_;
+  std::unique_ptr<obs::TelemetryFeed> telemetry_feed_;
+  std::unique_ptr<millib::OnlineDetector> detector_;
 
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> apache_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_cpu_;

@@ -58,6 +58,31 @@ RunSummary summarize(Experiment& e) {
     s.kv_mean_quorum_wait_ms = ks.mean_quorum_wait_ms();
   }
 
+  if (const auto* det = e.online_detector()) {
+    const auto score =
+        millib::OnlineDetector::score(det->episodes(), e.tomcat_truth_intervals());
+    s.online_episodes = det->episodes().size();
+    s.online_matched = score.matched;
+    s.online_truth_episodes = score.truth;
+    s.online_false_positives = score.false_positives;
+    s.online_median_detection_ms = score.median_latency_ms();
+    for (const auto& ep : det->episodes()) s.online_episode_vlrts += ep.vlrts;
+  }
+  if (const auto* tr = e.trace(); tr && tr->tail_enabled()) {
+    s.trace_events_seen = tr->tail_seen();
+    s.trace_events_kept = tr->tail_kept();
+    s.trace_kept_fraction = tr->tail_kept_fraction();
+  }
+  if (const auto* telem = e.telemetry()) {
+    if (const auto* rt = telem->find("client.rt_ms")) {
+      const auto& sketch = rt->timeline().sketch();
+      s.rt_sketch_p50_ms = sketch.quantile(0.50);
+      s.rt_sketch_p99_ms = sketch.quantile(0.99);
+      s.rt_sketch_p999_ms = sketch.quantile(0.999);
+      s.rt_sketch = sketch.serialize();
+    }
+  }
+
   if (cfg.tracing) {
     s.apache_queue_peak = max_of(e.apache_tier_queue());
     s.tomcat_queue_peak = max_of(e.tomcat_tier_queue());
@@ -136,6 +161,20 @@ void RunSummary::to_json(std::ostream& os) const {
   field(os, "kv_read_repairs", static_cast<double>(kv_read_repairs));
   field(os, "kv_degraded_ms", kv_degraded_ms);
   field(os, "kv_mean_quorum_wait_ms", kv_mean_quorum_wait_ms);
+  field(os, "online_episodes", static_cast<double>(online_episodes));
+  field(os, "online_matched", static_cast<double>(online_matched));
+  field(os, "online_truth_episodes",
+        static_cast<double>(online_truth_episodes));
+  field(os, "online_false_positives",
+        static_cast<double>(online_false_positives));
+  field(os, "online_median_detection_ms", online_median_detection_ms);
+  field(os, "online_episode_vlrts", static_cast<double>(online_episode_vlrts));
+  field(os, "trace_events_seen", static_cast<double>(trace_events_seen));
+  field(os, "trace_events_kept", static_cast<double>(trace_events_kept));
+  field(os, "trace_kept_fraction", trace_kept_fraction);
+  field(os, "rt_sketch_p50_ms", rt_sketch_p50_ms);
+  field(os, "rt_sketch_p99_ms", rt_sketch_p99_ms);
+  field(os, "rt_sketch_p999_ms", rt_sketch_p999_ms);
   array(os, "apache_mean_cpu", apache_mean_cpu);
   array(os, "tomcat_mean_cpu", tomcat_mean_cpu);
   array(os, "mysql_mean_cpu", mysql_mean_cpu);

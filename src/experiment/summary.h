@@ -63,6 +63,29 @@ struct RunSummary {
   double kv_degraded_ms = 0;
   double kv_mean_quorum_wait_ms = 0;
 
+  // -- online detection + tail sampling (all zero when --detect is off) ------
+  std::uint64_t online_episodes = 0;
+  std::uint64_t online_matched = 0;
+  std::uint64_t online_truth_episodes = 0;
+  std::uint64_t online_false_positives = 0;
+  double online_median_detection_ms = 0;
+  std::uint64_t online_episode_vlrts = 0;
+  /// Tail-based sampling volume accounting (zero when tail mode is off).
+  std::uint64_t trace_events_seen = 0;
+  std::uint64_t trace_events_kept = 0;
+  double trace_kept_fraction = 0;
+
+  // -- streaming telemetry (empty/zero when --telemetry is off) --------------
+  /// Response-time quantiles read back from the client.rt_ms DDSketch
+  /// (cross-checks the exact histogram within the sketch's error bound).
+  double rt_sketch_p50_ms = 0;
+  double rt_sketch_p99_ms = 0;
+  double rt_sketch_p999_ms = 0;
+  /// Serialized client.rt_ms sketch — mergeable across sweep replicas and
+  /// byte-deterministic (not part of to_json; sweeps merge it in run-index
+  /// order).
+  std::string rt_sketch;
+
   std::vector<double> apache_mean_cpu;
   std::vector<double> tomcat_mean_cpu;
   std::vector<double> mysql_mean_cpu;

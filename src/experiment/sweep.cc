@@ -11,6 +11,7 @@
 #include "experiment/chaos.h"
 #include "experiment/experiment.h"
 #include "metrics/request_log.h"
+#include "obs/sketch.h"
 #include "sim/rng.h"
 
 namespace ntier::experiment {
@@ -85,6 +86,30 @@ void AggregateSummary::finalize() {
   kv_migration_shed =
       stats([](const RunSummary& r) { return r.kv_migration_shed; });
   kv_degraded_ms = stats([](const RunSummary& r) { return r.kv_degraded_ms; });
+  online_episodes = stats([](const RunSummary& r) { return r.online_episodes; });
+  online_false_positives =
+      stats([](const RunSummary& r) { return r.online_false_positives; });
+  online_median_detection_ms =
+      stats([](const RunSummary& r) { return r.online_median_detection_ms; });
+  trace_kept_fraction =
+      stats([](const RunSummary& r) { return r.trace_kept_fraction; });
+}
+
+std::string AggregateSummary::merged_rt_sketch() const {
+  obs::DDSketch merged;
+  bool any = false;
+  for (const RunSummary& r : per_run) {
+    if (r.rt_sketch.empty()) continue;
+    auto s = obs::DDSketch::deserialize(r.rt_sketch);
+    if (!s) continue;
+    if (!any) {
+      merged = std::move(*s);
+      any = true;
+    } else {
+      merged.merge(*s);
+    }
+  }
+  return any ? merged.serialize() : std::string();
 }
 
 AggregateSummary AggregateSummary::merge(AggregateSummary a,
@@ -141,7 +166,11 @@ void AggregateSummary::to_json(std::ostream& os) const {
   json_stats(os, "kv_quorum_failed", kv_quorum_failed);
   json_stats(os, "kv_handoff_dropped", kv_handoff_dropped);
   json_stats(os, "kv_migration_shed", kv_migration_shed);
-  json_stats(os, "kv_degraded_ms", kv_degraded_ms, /*comma=*/false);
+  json_stats(os, "kv_degraded_ms", kv_degraded_ms);
+  json_stats(os, "online_episodes", online_episodes);
+  json_stats(os, "online_false_positives", online_false_positives);
+  json_stats(os, "online_median_detection_ms", online_median_detection_ms);
+  json_stats(os, "trace_kept_fraction", trace_kept_fraction, /*comma=*/false);
   os << "  },\n";
   os << "  \"pooled\": {\"completed\": " << pooled.count()
      << ", \"mean_ms\": " << pooled_mean_ms()
@@ -197,6 +226,10 @@ void AggregateSummary::to_csv(std::ostream& os) const {
   row("kv_handoff_dropped", kv_handoff_dropped);
   row("kv_migration_shed", kv_migration_shed);
   row("kv_degraded_ms", kv_degraded_ms);
+  row("online_episodes", online_episodes);
+  row("online_false_positives", online_false_positives);
+  row("online_median_detection_ms", online_median_detection_ms);
+  row("trace_kept_fraction", trace_kept_fraction);
 }
 
 void AggregateSummary::per_run_csv(std::ostream& os) const {
@@ -205,7 +238,8 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
         "mean_rt_ms,p50_ms,p99_ms,p999_ms,vlrt_fraction,normal_fraction,"
         "goodput_rps,total_sheds,deadline_sheds,wasted_work_avoided_ms,"
         "kv_quorum_failed,kv_handoff_dropped,kv_migration_shed,"
-        "kv_degraded_ms\n";
+        "kv_degraded_ms,online_episodes,online_false_positives,"
+        "online_median_detection_ms,trace_kept_fraction\n";
   for (std::size_t i = 0; i < per_run.size(); ++i) {
     const RunSummary& r = per_run[i];
     os << i << ',' << (i < run_seeds.size() ? run_seeds[i] : 0) << ','
@@ -217,7 +251,9 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
            r.sojourn_sheds)
        << ',' << r.deadline_sheds << ',' << r.wasted_work_avoided_ms << ','
        << r.kv_quorum_failed << ',' << r.kv_handoff_dropped << ','
-       << r.kv_migration_shed << ',' << r.kv_degraded_ms << '\n';
+       << r.kv_migration_shed << ',' << r.kv_degraded_ms << ','
+       << r.online_episodes << ',' << r.online_false_positives << ','
+       << r.online_median_detection_ms << ',' << r.trace_kept_fraction << '\n';
   }
 }
 

@@ -69,6 +69,15 @@ struct AggregateSummary {
   // KV data tier per-reason errors (zero across the board in MySQL mode).
   MetricStats kv_quorum_failed, kv_handoff_dropped, kv_migration_shed,
       kv_degraded_ms;
+  // Online detection + tail sampling (zero across the board when off).
+  MetricStats online_episodes, online_false_positives,
+      online_median_detection_ms, trace_kept_fraction;
+
+  /// Every replica's client.rt_ms DDSketch merged in run-index order;
+  /// empty string when no run carried a sketch. Because merging ordered
+  /// log-bucket maps is order-insensitive and aggregation always walks
+  /// per_run by index, these bytes are --jobs invariant.
+  std::string merged_rt_sketch() const;
 
   // -- pooled-distribution aggregates ----------------------------------------
   double pooled_mean_ms() const { return pooled.mean(); }

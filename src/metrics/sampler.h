@@ -11,6 +11,11 @@ namespace ntier::metrics {
 /// Polls a probe function on a fixed interval and records the probed value
 /// into a TimeSeries. Used for fine-grained CPU-utilisation and iowait plots
 /// (the paper samples at 50 ms granularity).
+///
+/// A probe firing at t = k·interval measures the interval that just elapsed,
+/// so the sample is attributed to window k-1 — which also means the probe
+/// firing exactly at the end of a run lands in the run's final window instead
+/// of an empty one past it.
 class PeriodicSampler {
  public:
   PeriodicSampler(sim::Simulation& simu, sim::SimTime interval,
@@ -32,7 +37,7 @@ class PeriodicSampler {
  private:
   void arm() {
     pending_ = sim_.after(interval_, [this] {
-      series_.record(sim_.now(), probe_());
+      series_.record(sim_.now() - interval_, probe_());
       arm();
     });
   }

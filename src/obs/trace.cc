@@ -1,6 +1,94 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+
 namespace ntier::obs {
+
+// ---- tail-based sampling -----------------------------------------------------
+
+bool TraceCollector::episode_relevant(const TraceEvent& e, int node) {
+  // The range keeps exactly what the causal-chain join consumes for the
+  // episode's worker: lb_value freshness, the committed-queue deltas
+  // (attempt / timeout / release) and retransmits, plus the request-less
+  // node-level signals (pdflush, iowait, stalls, breaker flips) that form
+  // the chain skeleton. Everything else a diagnosis needs per request —
+  // service times, polling, hop breakdowns — rides with the marked (VLRT)
+  // requests, which are kept end to end regardless of ranges.
+  if (e.kind == EventKind::kLbValue) return e.worker == node;
+  if (e.request == 0) return true;
+  if (e.kind == EventKind::kSynRetransmit) return true;
+  if (e.tier == Tier::kBalancer)
+    return e.worker == node && (e.kind == EventKind::kGetEndpointAttempt ||
+                                e.kind == EventKind::kGetEndpointTimeout ||
+                                e.kind == EventKind::kEndpointRelease);
+  return false;
+}
+
+void TraceCollector::mark_range(sim::SimTime t0, sim::SimTime t1, int node) {
+  if (t1 < t0) return;
+  // Coalesce with an overlapping/adjacent existing range for the same node so
+  // the mark list stays as short as the episode list, not the window count.
+  for (MarkRange& m : tail_marks_) {
+    if (m.node != node) continue;
+    if (t0 <= m.t1 && m.t0 <= t1) {
+      m.t0 = std::min(m.t0, t0);
+      m.t1 = std::max(m.t1, t1);
+      return;
+    }
+  }
+  tail_marks_.push_back(MarkRange{t0, t1, node});
+}
+
+bool TraceCollector::tail_keep(const TraceEvent& e) const {
+  if (e.request == 0) {
+    // Node-level signals are the chain skeleton and are low-volume — except
+    // kLbValue, which fires per completion and is only kept inside marked
+    // episode windows (the only place a freeze gap is diagnostically useful).
+    if (e.kind != EventKind::kLbValue) return true;
+  } else {
+    if (config_.tail.head_every &&
+        e.request % config_.tail.head_every == 0)
+      return true;
+    if (tail_marked_requests_.count(e.request)) return true;
+  }
+  for (const MarkRange& m : tail_marks_) {
+    if (e.at < m.t0 || e.at > m.t1) continue;
+    if (m.node < 0 || episode_relevant(e, m.node)) return true;
+  }
+  return false;
+}
+
+void TraceCollector::tail_evict(const TraceEvent& e) {
+  ++tail_seen_;
+  if (tail_keep(e)) {
+    tail_kept_.push_back(e);
+    ++tail_kept_count_;
+  }
+}
+
+void TraceCollector::tail_push(const TraceEvent& e) {
+  tail_buf_.push_back(e);
+  const sim::SimTime watermark = e.at - config_.tail.horizon;
+  while (!tail_buf_.empty() && tail_buf_.front().at < watermark) {
+    tail_evict(tail_buf_.front());
+    tail_buf_.pop_front();
+  }
+  // Ranges wholly behind the eviction watermark can never match again.
+  if (!tail_marks_.empty() && !tail_buf_.empty()) {
+    const sim::SimTime oldest = tail_buf_.front().at;
+    tail_marks_.erase(
+        std::remove_if(tail_marks_.begin(), tail_marks_.end(),
+                       [oldest](const MarkRange& m) { return m.t1 < oldest; }),
+        tail_marks_.end());
+  }
+}
+
+void TraceCollector::finish_tail() {
+  while (!tail_buf_.empty()) {
+    tail_evict(tail_buf_.front());
+    tail_buf_.pop_front();
+  }
+}
 
 const char* to_string(EventKind k) {
   switch (k) {

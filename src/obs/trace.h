@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -103,11 +105,48 @@ struct TraceEvent {
   Tier tier = Tier::kClient;
 };
 
+/// Anyone who wants to see every emitted event as it happens: the online
+/// millibottleneck detector and the telemetry feed are sinks. observe() runs
+/// on the emission path, so implementations must be cheap and must not emit
+/// events themselves.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void observe(const TraceEvent& e) = 0;
+};
+
+/// Tail-based sampling: instead of retaining everything (or a blind head
+/// sample), events are parked in a time-bounded holding buffer and the keep
+/// decision is made when they age out — by which time the online detector
+/// has had `horizon` of hindsight to mark the episode windows and VLRT
+/// requests worth keeping. What survives: detector-marked ranges, marked
+/// (VLRT) requests end to end, every Nth request as an unbiased head sample,
+/// and the low-volume node-level signals that form the causal-chain
+/// skeleton.
+struct TailConfig {
+  bool enabled = false;
+  /// How long events stay in the holding buffer before the keep decision is
+  /// final. Must exceed the longest response time a marked request can have
+  /// (its earliest events must still be buffered when kClientDone arrives).
+  sim::SimTime horizon = sim::SimTime::seconds(12);
+  /// Keep every event of requests with id % head_every == 0 — a
+  /// deterministic unbiased baseline population (id 0 is not used by the
+  /// workload, so the sample is exactly 1/head_every of traffic).
+  std::uint64_t head_every = 101;
+};
+
 struct TraceConfig {
   /// Ring capacity in events (~48 B each). When full, the oldest events are
   /// overwritten and counted in dropped(); storage grows on demand, so an
   /// idle collector costs almost nothing.
   std::size_t capacity = 4u << 20;
+  /// Retain events in the bounded ring. Turned off when the collector exists
+  /// only to feed sinks (online detection / telemetry without --trace) or
+  /// when tail sampling replaces full retention.
+  bool ring = true;
+  /// Tail-based sampling (additive: ring and tail can both be on, which the
+  /// detection bench uses to compare full vs sampled volume in one run).
+  TailConfig tail;
 };
 
 /// Cross-tier event sink: a bounded ring of TraceEvents in emission order
@@ -139,6 +178,9 @@ class TraceCollector {
 
   void push(const TraceEvent& e) {
     ++emitted_;
+    for (TraceSink* s : sinks_) s->observe(e);
+    if (config_.tail.enabled) tail_push(e);
+    if (!config_.ring) return;
     if (ring_.size() < config_.capacity) {
       ring_.push_back(e);
       return;
@@ -149,41 +191,108 @@ class TraceCollector {
     ++dropped_;
   }
 
+  /// Register a sink that sees every event at emission time. Sinks are
+  /// notified in registration order and must outlive the collector's use.
+  void add_sink(TraceSink* sink) {
+    if (sink) sinks_.push_back(sink);
+  }
+
   std::uint64_t emitted() const { return emitted_; }
   /// Events overwritten because the ring was full.
   std::uint64_t dropped() const { return dropped_; }
-  std::size_t size() const { return ring_.size(); }
+  std::size_t size() const {
+    return config_.ring ? ring_.size() : tail_kept_.size();
+  }
   std::size_t capacity() const { return config_.capacity; }
-  bool empty() const { return ring_.empty(); }
+  bool empty() const { return size() == 0; }
 
-  /// Visit the retained events in chronological order.
+  /// Visit the retained events in chronological order. With the ring on this
+  /// is the full (bounded) trace; in tail-only mode it is the sampled trace
+  /// and requires finish_tail() to have drained the holding buffer.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t i = 0; i < ring_.size(); ++i)
-      fn(ring_[(head_ + i) % ring_.size()]);
+    if (config_.ring) {
+      for (std::size_t i = 0; i < ring_.size(); ++i)
+        fn(ring_[(head_ + i) % ring_.size()]);
+    } else {
+      for (const TraceEvent& e : tail_kept_) fn(e);
+    }
   }
 
   /// Chronological copy of the retained events (ring unwrapped).
   std::vector<TraceEvent> snapshot() const {
     std::vector<TraceEvent> out;
-    out.reserve(ring_.size());
+    out.reserve(size());
     for_each([&out](const TraceEvent& e) { out.push_back(e); });
     return out;
   }
+
+  // -- tail-based sampling ------------------------------------------------------
+  bool tail_enabled() const { return config_.tail.enabled; }
+  /// Keep every buffered and future event in [t0, t1]. `node` restricts the
+  /// range to episode-relevant events of that Tomcat (balancer events
+  /// committed to it, its backend events, retransmits and node-level
+  /// signals); -1 keeps everything in the range.
+  void mark_range(sim::SimTime t0, sim::SimTime t1, int node = -1);
+  /// Keep every event of one request (the VLRT-chain guarantee: called at
+  /// kClientDone, while the request's whole life is still inside `horizon`).
+  void mark_request(std::uint64_t request) { tail_marked_requests_.insert(request); }
+  /// Drain the holding buffer at end of run, finalising every keep decision.
+  void finish_tail();
+  /// Events that aged out of the holding buffer (keep decision made).
+  std::uint64_t tail_seen() const { return tail_seen_; }
+  std::uint64_t tail_kept() const { return tail_kept_count_; }
+  double tail_kept_fraction() const {
+    return tail_seen_ ? static_cast<double>(tail_kept_count_) /
+                            static_cast<double>(tail_seen_)
+                      : 0.0;
+  }
+  /// Chronological copy of the tail-sampled trace (requires finish_tail()).
+  const std::vector<TraceEvent>& tail_events() const { return tail_kept_; }
+
+  /// True when `e` is part of a Tomcat-`node` episode's causal-chain
+  /// neighbourhood: node-level signals, balancer traffic committed to that
+  /// worker, the worker's own backend events, and SYN retransmits.
+  static bool episode_relevant(const TraceEvent& e, int node);
 
   void clear() {
     ring_.clear();
     head_ = 0;
     emitted_ = 0;
     dropped_ = 0;
+    tail_buf_.clear();
+    tail_kept_.clear();
+    tail_marks_.clear();
+    tail_marked_requests_.clear();
+    tail_seen_ = 0;
+    tail_kept_count_ = 0;
   }
 
  private:
+  struct MarkRange {
+    sim::SimTime t0;
+    sim::SimTime t1;
+    int node;
+  };
+
+  void tail_push(const TraceEvent& e);
+  void tail_evict(const TraceEvent& e);
+  bool tail_keep(const TraceEvent& e) const;
+
   TraceConfig config_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // oldest retained event once the ring wrapped
   std::uint64_t emitted_ = 0;
   std::uint64_t dropped_ = 0;
+
+  std::vector<TraceSink*> sinks_;
+
+  std::deque<TraceEvent> tail_buf_;       // holding buffer, decision pending
+  std::vector<TraceEvent> tail_kept_;     // sampled trace, chronological
+  std::vector<MarkRange> tail_marks_;     // detector-marked episode windows
+  std::unordered_set<std::uint64_t> tail_marked_requests_;
+  std::uint64_t tail_seen_ = 0;
+  std::uint64_t tail_kept_count_ = 0;
 };
 
 }  // namespace ntier::obs

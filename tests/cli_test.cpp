@@ -269,6 +269,28 @@ TEST(Cli, TraceFlags) {
   EXPECT_FALSE(parse({"--record-trace"}).ok());
 }
 
+TEST(Cli, ObservabilityFlags) {
+  const auto r = parse({"--telemetry", "--detect", "--trace", "/tmp/t.jsonl",
+                        "--trace-sample", "tail"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.options->config.telemetry.enabled);
+  EXPECT_TRUE(r.options->config.online_detect);
+  EXPECT_TRUE(r.options->config.event_trace);
+  EXPECT_TRUE(r.options->config.trace_tail.enabled);
+
+  // The explicit default keeps full ring retention.
+  const auto full =
+      parse({"--trace", "/tmp/t.jsonl", "--trace-sample", "full"});
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full.options->config.trace_tail.enabled);
+
+  EXPECT_FALSE(parse({"--trace-sample", "sometimes"}).ok());
+  EXPECT_FALSE(parse({"--trace-sample"}).ok());
+  // Tail sampling needs the detector's marks and a place to write the sample.
+  EXPECT_FALSE(parse({"--trace", "/tmp/t.jsonl", "--trace-sample", "tail"}).ok());
+  EXPECT_FALSE(parse({"--detect", "--trace-sample", "tail"}).ok());
+}
+
 TEST(Cli, RecordThenReplayRoundTrip) {
   const std::string path = "/tmp/ntier_cli_trace_roundtrip.csv";
   auto rec = parse({"--clients", "200", "--think-ms", "100", "--duration-s",

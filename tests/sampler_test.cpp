@@ -20,8 +20,28 @@ TEST(PeriodicSampler, SamplesOnTheConfiguredInterval) {
   });
   simu.run_until(SimTime::millis(501));
   EXPECT_EQ(calls, 10);
-  // The t=50ms sample (value 1) lands in window index 1.
-  EXPECT_DOUBLE_EQ(s.series().avg(1), 1.0);
+  // The t=50ms probe measured the [0, 50ms) interval: window index 0.
+  EXPECT_DOUBLE_EQ(s.series().avg(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.series().avg(1), 2.0);
+}
+
+TEST(PeriodicSampler, FinalProbeAtRunEndLandsInTheLastWindow) {
+  // A run of duration D with interval w has windows [0, D/w). The probe that
+  // fires exactly at t = D measures window D/w - 1 and must be recorded
+  // there — not silently dropped into an empty window past the run that no
+  // consumer reads.
+  sim::Simulation simu;
+  int calls = 0;
+  PeriodicSampler s(simu, SimTime::millis(50), [&] {
+    ++calls;
+    return static_cast<double>(calls);
+  });
+  simu.run_until(SimTime::millis(500));  // events at exactly t=500ms fire
+  EXPECT_EQ(calls, 10);
+  ASSERT_EQ(s.series().num_windows(), 10u);  // windows 0..9, none past the run
+  EXPECT_EQ(s.series().count(9), 1);
+  EXPECT_DOUBLE_EQ(s.series().avg(9), 10.0);
+  EXPECT_EQ(s.series().total_count(), 10);
 }
 
 TEST(PeriodicSampler, DestructionCancelsThePendingProbe) {
@@ -52,7 +72,7 @@ TEST(PeriodicSampler, SamplerOutlivedBySimulationThenDestroyedFirst) {
   {
     PeriodicSampler s(*simu, SimTime::millis(100), [] { return 1.0; });
     simu->run_until(SimTime::millis(250));
-    EXPECT_EQ(s.series().count(1), 1);
+    EXPECT_EQ(s.series().count(1), 1);  // the t=200ms probe measured window 1
   }  // sampler destroyed; its pending event cancelled
   simu->run_until(SimTime::millis(500));
   EXPECT_TRUE(other_fired);

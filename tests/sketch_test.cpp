@@ -1,0 +1,234 @@
+#include "obs/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ntier::obs {
+namespace {
+
+// Deterministic value stream (no platform-dependent std:: distributions).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  double uniform01() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state_ >> 11) * 0x1p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Exact sample quantile under the sketch's own rank convention
+/// (rank = q * (n - 1), first value whose cumulative count exceeds it).
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+TEST(DDSketch, EmptyAndSingleValue) {
+  DDSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+
+  s.record(123.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_NEAR(s.quantile(0.5), 123.0, 0.02 * 123.0);
+  EXPECT_NEAR(s.quantile(0.99), 123.0, 0.02 * 123.0);
+  EXPECT_EQ(s.min(), 123.0);
+  EXPECT_EQ(s.max(), 123.0);
+}
+
+TEST(DDSketch, RelativeErrorBoundAcrossMagnitudes) {
+  // The headline property: every reported quantile is within
+  // relative_accuracy of the true sample quantile, for samples spanning six
+  // orders of magnitude and for samples clustered tightly.
+  const double a = SketchConfig{}.relative_accuracy;
+  struct Gen {
+    const char* name;
+    double (*next)(Lcg&);
+  };
+  const Gen gens[] = {
+      {"uniform [1, 1000]",
+       [](Lcg& r) { return 1.0 + 999.0 * r.uniform01(); }},
+      {"log-uniform [1e-3, 1e3]",
+       [](Lcg& r) { return std::pow(10.0, -3.0 + 6.0 * r.uniform01()); }},
+      {"bimodal latencies",
+       [](Lcg& r) {
+         return r.uniform01() < 0.95 ? 20.0 + 10.0 * r.uniform01()
+                                     : 1000.0 + 2000.0 * r.uniform01();
+       }},
+  };
+  for (const Gen& g : gens) {
+    Lcg rng(7);
+    DDSketch s;
+    std::vector<double> samples;
+    for (int i = 0; i < 20'000; ++i) {
+      const double v = g.next(rng);
+      samples.push_back(v);
+      s.record(v);
+    }
+    for (double q : {0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+      const double exact = exact_quantile(samples, q);
+      const double est = s.quantile(q);
+      EXPECT_LE(std::abs(est - exact), a * exact + 1e-9)
+          << g.name << " q=" << q << " exact=" << exact << " est=" << est;
+    }
+  }
+}
+
+TEST(DDSketch, MergeIsCommutativeAndAssociativeToTheByte) {
+  // Values chosen exactly representable with exactly representable sums, so
+  // merge order cannot perturb the serialized sum field; bucket counts are
+  // integers and commute regardless.
+  auto make = [](double base, int n) {
+    DDSketch s;
+    for (int i = 0; i < n; ++i) s.record(base + 0.5 * i);
+    return s;
+  };
+  const DDSketch a = make(1.0, 50);
+  const DDSketch b = make(300.0, 70);
+  const DDSketch c = make(9000.0, 30);
+
+  DDSketch ab = a;
+  ab.merge(b);
+  DDSketch ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.serialize(), ba.serialize());
+
+  DDSketch ab_c = ab;
+  ab_c.merge(c);
+  DDSketch bc = b;
+  bc.merge(c);
+  DDSketch a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_EQ(ab_c.serialize(), a_bc.serialize());
+
+  // Merging the shards reproduces the bulk sketch.
+  DDSketch bulk;
+  for (int i = 0; i < 50; ++i) bulk.record(1.0 + 0.5 * i);
+  for (int i = 0; i < 70; ++i) bulk.record(300.0 + 0.5 * i);
+  for (int i = 0; i < 30; ++i) bulk.record(9000.0 + 0.5 * i);
+  EXPECT_TRUE(ab_c == bulk);
+  EXPECT_EQ(ab_c.count(), 150u);
+}
+
+TEST(DDSketch, ManyShardMergeOrderIsByteDeterministic) {
+  // The sweep merges per-run sketches in run-index order; any fixed multiset
+  // of shards must yield the same bytes no matter how the merge tree is
+  // shaped (index order vs pairwise reduction).
+  std::vector<DDSketch> shards;
+  for (int s = 0; s < 8; ++s) {
+    DDSketch sk;
+    for (int i = 0; i < 200; ++i)
+      sk.record(1.0 + 2.0 * s + 0.25 * i);  // exactly representable
+    shards.push_back(sk);
+  }
+  DDSketch in_order;
+  for (const DDSketch& s : shards) in_order.merge(s);
+  DDSketch tree;
+  {
+    std::vector<DDSketch> level = shards;
+    while (level.size() > 1) {
+      std::vector<DDSketch> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        DDSketch m = level[i];
+        m.merge(level[i + 1]);
+        next.push_back(m);
+      }
+      if (level.size() % 2) next.push_back(level.back());
+      level = next;
+    }
+    tree = level[0];
+  }
+  EXPECT_EQ(in_order.serialize(), tree.serialize());
+}
+
+TEST(DDSketch, SerializeRoundTrip) {
+  Lcg rng(11);
+  DDSketch s;
+  s.record(0.0);  // zero bucket
+  s.record(-3.0);
+  for (int i = 0; i < 5'000; ++i)
+    s.record(std::pow(10.0, -2.0 + 5.0 * rng.uniform01()));
+
+  const std::string bytes = s.serialize();
+  EXPECT_EQ(bytes.rfind("ddsk1 a=", 0), 0u);
+  const auto back = DDSketch::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == s);
+  EXPECT_EQ(back->serialize(), bytes);
+  EXPECT_EQ(back->quantile(0.99), s.quantile(0.99));
+}
+
+TEST(DDSketch, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(DDSketch::deserialize("").has_value());
+  EXPECT_FALSE(DDSketch::deserialize("junk").has_value());
+  EXPECT_FALSE(DDSketch::deserialize("ddsk1 a=").has_value());
+  EXPECT_FALSE(DDSketch::deserialize("ddsk1 a=0.02 b=1024").has_value());
+  // Count mismatch between header and buckets.
+  EXPECT_FALSE(
+      DDSketch::deserialize(
+          "ddsk1 a=0.02 b=1024 z=0 n=5 s=10 lo=1 hi=4 | 3:2")
+          .has_value());
+  // A valid empty sketch round-trips.
+  const DDSketch empty;
+  EXPECT_TRUE(DDSketch::deserialize(empty.serialize()).has_value());
+}
+
+TEST(DDSketch, CollapsePreservesUpperQuantilesUnderBucketBound) {
+  SketchConfig cfg;
+  cfg.max_buckets = 32;
+  DDSketch s(cfg);
+  Lcg rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = std::pow(10.0, -3.0 + 7.0 * rng.uniform01());
+    samples.push_back(v);
+    s.record(v);
+  }
+  EXPECT_LE(s.num_buckets(), 32u);
+  // The collapse eats the lowest buckets; p99/p99.9 keep their guarantee.
+  for (double q : {0.99, 0.999}) {
+    const double exact = exact_quantile(samples, q);
+    EXPECT_LE(std::abs(s.quantile(q) - exact),
+              cfg.relative_accuracy * exact + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(DDSketch, ZeroAndNegativeValuesLandInTheZeroBucket) {
+  DDSketch s;
+  s.record_n(0.0, 10);
+  s.record_n(-5.0, 5);
+  s.record_n(100.0, 5);
+  EXPECT_EQ(s.count(), 20u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);  // 15/20 of mass is in the zero bucket
+  EXPECT_NEAR(s.quantile(0.99), 100.0, 2.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.sum(), -25.0 + 500.0);
+}
+
+TEST(DDSketch, MergeRequiresNothingOfEmptySketches) {
+  DDSketch a;
+  DDSketch b;
+  for (int i = 0; i < 100; ++i) b.record(10.0 + i);
+  const std::string before = b.serialize();
+  b.merge(a);  // merging an empty sketch is a no-op
+  EXPECT_EQ(b.serialize(), before);
+  a.merge(b);  // merging into an empty sketch copies
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace ntier::obs

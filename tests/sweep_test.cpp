@@ -87,6 +87,39 @@ TEST(SweepRunner, JobsDoNotChangeAggregateBytes) {
   EXPECT_EQ(runs_a.str(), runs_b.str());
 }
 
+TEST(SweepRunner, MergedSketchAndOnlineColumnsAreJobsInvariant) {
+  // With telemetry + the online detector on, each replica carries a serialized
+  // response-time sketch and online-detection stats. Sequential and parallel
+  // sweeps must merge to the same bytes and emit the same columns.
+  SweepConfig seq;
+  seq.base = tiny_config();
+  seq.base.telemetry.enabled = true;
+  seq.base.online_detect = true;
+  seq.num_runs = 4;
+  seq.jobs = 1;
+  SweepConfig par = seq;
+  par.jobs = 8;
+
+  const AggregateSummary a = SweepRunner(seq).run();
+  const AggregateSummary b = SweepRunner(par).run();
+#ifndef NTIER_OBS_DISABLED
+  EXPECT_FALSE(a.merged_rt_sketch().empty());
+  EXPECT_EQ(a.merged_rt_sketch().rfind("ddsk1 a=", 0), 0u);
+#endif
+  EXPECT_EQ(a.merged_rt_sketch(), b.merged_rt_sketch());
+  EXPECT_EQ(a.to_json_string(), b.to_json_string());
+
+  std::ostringstream runs, csv;
+  a.per_run_csv(runs);
+  a.to_csv(csv);
+  EXPECT_NE(runs.str().find("online_episodes,online_false_positives,"
+                            "online_median_detection_ms,trace_kept_fraction"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("online_episodes,"), std::string::npos);
+  EXPECT_NE(csv.str().find("online_median_detection_ms,"), std::string::npos);
+  EXPECT_NE(csv.str().find("trace_kept_fraction,"), std::string::npos);
+}
+
 TEST(SweepRunner, AggregatesMatchPerRunSummaries) {
   SweepConfig sc;
   sc.base = tiny_config();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "millib/causal_chain.h"
+#include "millib/online_detector.h"
 #include "obs/trace_io.h"
 #include "probe/freshness.h"
 
@@ -30,6 +31,10 @@ usage: ntier_trace TRACE.jsonl [flags]
   --kv-slow-ms X  slow-KV-quorum wait threshold           (default 50)
   --probe-staleness-ms X  probe-result lifetime used for the freshness
                   stats; match the run's --probe-staleness (default 400)
+  --compare-online  replay the trace through the streaming OnlineDetector
+                  and score it against this offline analysis: matched
+                  episodes, spurious detections, per-episode and median
+                  detection latency
   --json FILE     also write the report as JSON ("-" = stdout)
   --quiet         suppress the human-readable report
   --help          this text
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string json_path;
   bool quiet = false;
+  bool compare_online = false;
   ntier::millib::CausalChainConfig cfg;
   double probe_staleness_ms = 400;
 
@@ -61,6 +67,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--compare-online") {
+      compare_online = true;
     } else if (a == "--json") {
       if (++i >= argc) { std::cerr << "missing --json value\n"; return 2; }
       json_path = argv[i];
@@ -109,6 +117,48 @@ int main(int argc, char** argv) {
 
   const auto report = ntier::millib::CausalChainAnalyzer(cfg).analyze(events);
   if (!quiet) report.print(std::cout);
+
+  if (compare_online) {
+    // Same signature thresholds as the offline join, fed one event at a time
+    // the way a live run would stream them.
+    ntier::millib::OnlineDetectorConfig dc;
+    dc.window = cfg.window;
+    dc.iowait_threshold = cfg.iowait_threshold;
+    dc.lb_freeze_min = cfg.lb_freeze_min;
+    dc.vlrt_threshold_ms = cfg.vlrt_threshold_ms;
+    ntier::millib::OnlineDetector det(dc);
+    ntier::sim::SimTime last;
+    for (const auto& e : events) {
+      det.observe(e);
+      if (e.at > last) last = e.at;
+    }
+    det.finish(last + dc.window);
+
+    std::vector<std::vector<std::pair<ntier::sim::SimTime, ntier::sim::SimTime>>>
+        truth;
+    for (const auto& c : report.chains) {
+      if (c.tier != ntier::obs::Tier::kTomcat || c.node < 0) continue;
+      if (truth.size() <= static_cast<std::size_t>(c.node))
+        truth.resize(static_cast<std::size_t>(c.node) + 1);
+      truth[static_cast<std::size_t>(c.node)].emplace_back(c.start, c.end);
+    }
+    const auto score = ntier::millib::OnlineDetector::score(det.episodes(), truth);
+    std::cout << "\nonline vs offline detection\n"
+              << "  offline episodes (tomcat tier): " << score.truth << "\n"
+              << "  matched online: " << score.matched << " ("
+              << 100.0 * score.match_fraction() << "%), missed "
+              << score.missed << ", spurious " << score.false_positives
+              << "\n"
+              << "  median detection latency: " << score.median_latency_ms()
+              << " ms\n";
+    for (const auto& ep : det.episodes()) {
+      std::cout << "  tomcat" << ep.node << " onset "
+                << ep.onset.to_seconds() << " s, detected +"
+                << ep.detection_latency_ms() << " ms, queue peak "
+                << ep.queue_peak << ", iowait peak " << ep.iowait_peak
+                << ", vlrts " << ep.vlrts << "\n";
+    }
+  }
 
   // Probe-freshness block, only for traces from probe-enabled runs.
   const auto freshness = ntier::probe::probe_freshness(
