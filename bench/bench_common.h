@@ -77,6 +77,11 @@ inline void append_json_row(const BenchOptions& opt, Experiment& e,
     << ",\"kv_migration_shed\":" << s.kv_migration_shed
     << ",\"kv_hints_replayed\":" << s.kv_hints_replayed
     << ",\"kv_degraded_ms\":" << s.kv_degraded_ms
+    << ",\"cache_hits\":" << s.cache_hits
+    << ",\"cache_misses\":" << s.cache_misses
+    << ",\"cache_hit_ratio\":" << s.cache_hit_ratio
+    << ",\"cache_invalidations\":" << s.cache_invalidations
+    << ",\"cache_coalesced_fills\":" << s.cache_coalesced_fills
     << ",\"online_episodes\":" << s.online_episodes
     << ",\"online_matched\":" << s.online_matched
     << ",\"online_false_positives\":" << s.online_false_positives
@@ -155,6 +160,10 @@ inline void append_sweep_json_row(const BenchOptions& opt,
     << ",\"goodput_rps_ci95\":" << agg.goodput_rps.ci95_half
     << ",\"total_sheds\":" << agg.total_sheds.mean
     << ",\"wasted_work_avoided_ms\":" << agg.wasted_work_avoided_ms.mean
+    << ",\"cache_hits\":" << agg.cache_hits.mean
+    << ",\"cache_misses\":" << agg.cache_misses.mean
+    << ",\"cache_invalidations\":" << agg.cache_invalidations.mean
+    << ",\"cache_coalesced_fills\":" << agg.cache_coalesced_fills.mean
     << ",\"online_episodes\":" << agg.online_episodes.mean
     << ",\"online_false_positives\":" << agg.online_false_positives.mean
     << ",\"detection_latency_ms\":" << agg.online_median_detection_ms.mean

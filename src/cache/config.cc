@@ -1,0 +1,86 @@
+#include "cache/config.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace ntier::cache {
+
+bool CacheConfig::validate(std::string* error) const {
+  auto fail = [error](const std::string& why) {
+    if (error) *error = "cache config: " + why;
+    return false;
+  };
+  if (nodes < 1) return fail("nodes must be >= 1");
+  if (bytes < 1) return fail("bytes must be >= 1");
+  if (entry_bytes < 1) return fail("entry must be >= 1");
+  if (bytes < entry_bytes)
+    return fail("bytes=" + std::to_string(bytes) +
+                " cannot hold a single entry of " +
+                std::to_string(entry_bytes) + " bytes");
+  if (ttl <= sim::SimTime::zero())
+    return fail("ttl_ms must be > 0 (the TTL backstops dropped invalidations)");
+  if (invalidation_queue_capacity < 1)
+    return fail("inval_queue must be >= 1");
+  return true;
+}
+
+std::string CacheConfig::to_string() const {
+  std::ostringstream os;
+  os << "nodes=" << nodes << ",bytes=" << bytes << ",entry=" << entry_bytes
+     << ",ttl_ms=" << static_cast<std::int64_t>(ttl.to_millis())
+     << ",inval_queue=" << invalidation_queue_capacity
+     << ",coalesce=" << (coalesce ? 1 : 0);
+  return os.str();
+}
+
+std::optional<CacheConfig> cache_config_from_string(const std::string& s,
+                                                    std::string* error) {
+  CacheConfig cfg;
+  auto fail = [error](const std::string& why) {
+    if (error) *error = "cache config: " + why;
+    return std::nullopt;
+  };
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      return fail("expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    std::int64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size())
+      return fail("bad integer for '" + key + "': '" + value + "'");
+    if (key == "nodes") cfg.nodes = static_cast<int>(parsed);
+    else if (key == "bytes") {
+      if (parsed < 0) return fail("bytes must be >= 0");
+      cfg.bytes = static_cast<std::uint64_t>(parsed);
+    } else if (key == "entry") {
+      if (parsed < 0) return fail("entry must be >= 0");
+      cfg.entry_bytes = static_cast<std::uint32_t>(parsed);
+    } else if (key == "ttl_ms") {
+      cfg.ttl = sim::SimTime::millis(parsed);
+    } else if (key == "inval_queue") {
+      if (parsed < 0) return fail("inval_queue must be >= 0");
+      cfg.invalidation_queue_capacity = static_cast<std::size_t>(parsed);
+    } else if (key == "coalesce") {
+      cfg.coalesce = parsed != 0;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  std::string why;
+  if (!cfg.validate(&why)) {
+    if (error) *error = why;
+    return std::nullopt;
+  }
+  return cfg;
+}
+
+}  // namespace ntier::cache

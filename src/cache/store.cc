@@ -1,0 +1,55 @@
+#include "cache/store.h"
+
+namespace ntier::cache {
+
+bool CacheStore::lookup(std::uint64_t key, sim::SimTime now) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (it->second->expires <= now) {
+    ++expirations_;
+    erase(it->second);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+bool CacheStore::holds(std::uint64_t key, sim::SimTime now) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (it->second->expires <= now) {
+    ++expirations_;
+    erase(it->second);
+    return false;
+  }
+  return true;
+}
+
+void CacheStore::insert(std::uint64_t key, sim::SimTime now, sim::SimTime ttl) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->expires = now + ttl;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, now + ttl});
+  index_[key] = lru_.begin();
+  if (index_.size() > capacity_) {
+    ++evictions_;
+    erase(std::prev(lru_.end()));
+  }
+}
+
+bool CacheStore::invalidate(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  erase(it->second);
+  return true;
+}
+
+void CacheStore::erase(std::list<Entry>::iterator it) {
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace ntier::cache

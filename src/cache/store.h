@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/time.h"
+
+namespace ntier::cache {
+
+/// One node's key set: a bounded LRU with per-entry TTLs. Entries expire
+/// lazily — an expired entry is discovered (and counted) at the lookup or
+/// holds() probe that finds it, which is exactly when a memcached-style
+/// cache pays the expiry cost. Every operation is keyed explicitly and no
+/// output ever depends on hash-table iteration order, so the store is
+/// byte-deterministic by construction.
+class CacheStore {
+ public:
+  explicit CacheStore(std::size_t capacity_entries)
+      : capacity_(capacity_entries ? capacity_entries : 1) {}
+
+  /// Look a key up at `now`: a live entry is promoted to most-recently-used
+  /// and counts a hit; a dead (expired) entry is erased and counts both an
+  /// expiration and a miss.
+  bool lookup(std::uint64_t key, sim::SimTime now);
+
+  /// True when the key is resident and live at `now`, without promoting it
+  /// (the invalidation broadcast's "does this node hold the key" probe).
+  /// Expired entries found here are erased and counted.
+  bool holds(std::uint64_t key, sim::SimTime now);
+
+  /// Install (or refresh) a key with expiry `now + ttl`, evicting the
+  /// least-recently-used entry when over capacity.
+  void insert(std::uint64_t key, sim::SimTime now, sim::SimTime ttl);
+
+  /// Drop a key; true when it was resident.
+  bool invalidate(std::uint64_t key);
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t expirations() const { return expirations_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    sim::SimTime expires;
+  };
+
+  void erase(std::list<Entry>::iterator it);
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace ntier::cache

@@ -1,0 +1,227 @@
+#include "cache/tier.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ntier::cache {
+
+CacheTier::CacheTier(sim::Simulation& simu, std::vector<os::Node*> nodes,
+                     kv::KvTier* backing, CacheConfig config)
+    : sim_(simu), kv_(backing), config_(config) {
+  if (!kv_) throw std::invalid_argument("CacheTier: null backing kv tier");
+  if (nodes.empty()) throw std::invalid_argument("CacheTier: no nodes");
+  nodes_.reserve(nodes.size());
+  for (os::Node* n : nodes) nodes_.emplace_back(n, config_.capacity_entries());
+}
+
+void CacheTier::read(int node, const proto::RequestPtr& req,
+                     sim::SimTime demand, DoneFn done) {
+  ++ops_in_flight_;
+  ++stats_.lookups;
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  ns.node->cpu().submit(
+      config_.lookup_demand,
+      [this, node, req, demand, done = std::move(done)]() mutable {
+        auto& s = nodes_[static_cast<std::size_t>(node)];
+        if (s.store.lookup(req->key, sim_.now())) {
+          ++stats_.hits;
+          NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kCacheHit,
+                            obs::Tier::kCache, node, -1, req->id,
+                            static_cast<double>(s.store.size()));
+          --ops_in_flight_;
+          done(true);
+          return;
+        }
+        ++stats_.misses;
+        NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kCacheMiss,
+                          obs::Tier::kCache, node, -1, req->id,
+                          static_cast<double>(s.store.size()));
+        if (config_.coalesce) {
+          const auto it = s.fills.find(req->key);
+          if (it != s.fills.end()) {
+            // Single flight: join the in-flight fill instead of issuing a
+            // second quorum fetch for the same key.
+            ++stats_.coalesced_fills;
+            it->second.push_back([this, done = std::move(done)](bool ok) {
+              --ops_in_flight_;
+              done(ok);
+            });
+            NTIER_TRACE_EVENT(trace_, sim_.now(),
+                              obs::EventKind::kCacheCoalesced,
+                              obs::Tier::kCache, node, -1, req->id,
+                              static_cast<double>(it->second.size()));
+            return;
+          }
+        }
+        start_fill(node, req, demand, std::move(done));
+      });
+}
+
+void CacheTier::start_fill(int node, const proto::RequestPtr& req,
+                           sim::SimTime demand, DoneFn done) {
+  ++stats_.fills_started;
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  if (config_.coalesce) {
+    ns.fills[req->key].push_back([this, done = std::move(done)](bool ok) {
+      --ops_in_flight_;
+      done(ok);
+    });
+  }
+  kv_->read(req, demand, [this, node, req,
+                          done = std::move(done)](bool ok) mutable {
+    auto& s = nodes_[static_cast<std::size_t>(node)];
+    // The fetched value is installed (or the failure surfaced) only after
+    // the fill demand runs on the cache node, so queueing there is part of
+    // every waiter's latency.
+    s.node->cpu().submit(
+        config_.fill_demand,
+        [this, node, req, ok, done = std::move(done)]() mutable {
+          auto& t = nodes_[static_cast<std::size_t>(node)];
+          if (ok) {
+            ++stats_.fills_completed;
+            ++stats_.inserts;
+            t.store.insert(req->key, sim_.now(), config_.ttl);
+          } else {
+            ++stats_.fill_failures;
+          }
+          if (config_.coalesce) {
+            const auto it = t.fills.find(req->key);
+            if (it != t.fills.end()) {
+              auto waiters = std::move(it->second);
+              t.fills.erase(it);
+              for (auto& w : waiters) w(ok);
+            }
+          } else {
+            --ops_in_flight_;
+            done(ok);
+          }
+        });
+  });
+}
+
+void CacheTier::write(int node, const proto::RequestPtr& req,
+                      sim::SimTime demand, DoneFn done) {
+  (void)node;  // the broadcast reaches every node holding the key
+  ++ops_in_flight_;
+  ++stats_.writes_forwarded;
+  kv_->write(req, demand, [this, req, done = std::move(done)](bool ok) mutable {
+    if (ok) broadcast_invalidations(req->key, req->id);
+    --ops_in_flight_;
+    done(ok);
+  });
+}
+
+void CacheTier::broadcast_invalidations(std::uint64_t key,
+                                        std::uint64_t request) {
+  for (int m = 0; m < num_nodes(); ++m) {
+    auto& ns = nodes_[static_cast<std::size_t>(m)];
+    if (!ns.store.holds(key, sim_.now())) continue;
+    enqueue_invalidation(m, key, request);
+  }
+}
+
+void CacheTier::enqueue_invalidation(int node, std::uint64_t key,
+                                     std::uint64_t request) {
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  ++stats_.invalidations_sent;
+  const std::size_t backlog = ns.inval_queue.size() + (ns.inval_busy ? 1 : 0);
+  if (backlog >= config_.invalidation_queue_capacity) {
+    // Bounded queue overflowed: the invalidation is dropped (counted, never
+    // silent) and the entry stays stale until its TTL expires.
+    ++stats_.invalidations_dropped;
+    NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kCacheInvalidate,
+                      obs::Tier::kCache, node, -1, request,
+                      static_cast<double>(backlog), /*aux=*/-1);
+    return;
+  }
+  ns.inval_queue.push_back(key);
+  pump_invalidations(node);
+}
+
+void CacheTier::pump_invalidations(int node) {
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  if (ns.inval_busy || ns.inval_queue.empty()) return;
+  ns.inval_busy = true;
+  const std::uint64_t key = ns.inval_queue.front();
+  ns.inval_queue.pop_front();
+  ns.node->cpu().submit(config_.invalidate_demand, [this, node, key] {
+    auto& s = nodes_[static_cast<std::size_t>(node)];
+    s.store.invalidate(key);
+    ++stats_.invalidations_delivered;
+    NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kCacheInvalidate,
+                      obs::Tier::kCache, node, -1, /*request=*/0,
+                      static_cast<double>(s.inval_queue.size()), /*aux=*/1);
+    s.inval_busy = false;
+    pump_invalidations(node);
+  });
+}
+
+void CacheTier::begin_invalidation_storm(sim::SimTime duration,
+                                         double intensity) {
+  ++stats_.storms;
+  const sim::SimTime end = sim_.now() + duration;
+  const auto keys = static_cast<std::uint64_t>(
+      std::llround(64.0 * (intensity > 0 ? intensity : 1.0)));
+  if (storm_active_) {
+    // Overlapping storms extend the window and take the larger sweep.
+    if (end > storm_end_) storm_end_ = end;
+    if (keys > storm_keys_) storm_keys_ = keys;
+    return;
+  }
+  storm_active_ = true;
+  storm_end_ = end;
+  storm_keys_ = keys ? keys : 1;
+  storm_intensity_ = intensity;
+  NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kStallStart,
+                    obs::Tier::kCache, -1, -1, /*request=*/0, intensity);
+  storm_tick();
+}
+
+void CacheTier::storm_tick() {
+  if (!storm_active_) return;
+  if (sim_.now() >= storm_end_) {
+    end_invalidation_storm();
+    return;
+  }
+  ++stats_.storm_ticks;
+  // Sweep the hottest Zipf ranks (workload key id == popularity rank): the
+  // write burst keeps re-dirtying exactly the keys the cache protects.
+  for (std::uint64_t k = 0; k < storm_keys_; ++k) {
+    auto& root = nodes_;
+    for (int m = 0; m < static_cast<int>(root.size()); ++m) {
+      if (!root[static_cast<std::size_t>(m)].store.holds(k, sim_.now()))
+        continue;
+      enqueue_invalidation(m, k, /*request=*/0);
+    }
+  }
+  sim_.after(storm_tick_interval_, [this] { storm_tick(); });
+}
+
+void CacheTier::end_invalidation_storm() {
+  if (!storm_active_) return;
+  if (sim_.now() < storm_end_) return;  // extended by an overlapping storm
+  storm_active_ = false;
+  NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kStallStop,
+                    obs::Tier::kCache, -1, -1, /*request=*/0,
+                    storm_intensity_);
+}
+
+const CacheStats& CacheTier::stats() const {
+  stats_.evictions = 0;
+  stats_.expirations = 0;
+  for (const auto& ns : nodes_) {
+    stats_.evictions += ns.store.evictions();
+    stats_.expirations += ns.store.expirations();
+  }
+  return stats_;
+}
+
+std::uint64_t CacheTier::invalidations_pending() const {
+  std::uint64_t pending = 0;
+  for (const auto& ns : nodes_)
+    pending += ns.inval_queue.size() + (ns.inval_busy ? 1 : 0);
+  return pending;
+}
+
+}  // namespace ntier::cache

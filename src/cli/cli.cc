@@ -121,6 +121,18 @@ data tier
   --kv-millibottlenecks  correlated injector stalls on n-r+1 members of the
                          hot key's shard (quorum cannot mask the episode)
 
+cache tier (look-aside cache over the KV tier; requires --db-tier kv)
+  --cache-tier           interpose per-node LRU+TTL caches between the
+                         Tomcat tier and the KV quorum, with invalidate-on-
+                         write broadcast and single-flight fill coalescing
+  --cache CFG            cache geometry as key=value pairs: nodes, bytes,
+                         entry, ttl_ms, inval_queue, coalesce
+                         (e.g. nodes=2,bytes=67108864,ttl_ms=10000)
+  --cache-bytes N        memory per cache node in bytes
+  --cache-ttl-ms X       entry time-to-live in ms (the staleness backstop
+                         for dropped invalidations)
+  --cache-coalesce B     on | off — single-flight fill coalescing
+
 policy & mechanism under test
   --policy P             total_request | total_traffic | current_load |
                          sessions | round_robin | random | two_choices |
@@ -212,6 +224,7 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
   bool kv_config_set = false;
   bool zipf_set = false;
   bool key_space_set = false;
+  bool cache_flags_set = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -276,6 +289,33 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       key_space_set = true;
     } else if (a == "--kv-millibottlenecks") {
       o.config.kv_millibottlenecks = true;
+    } else if (a == "--cache-tier") {
+      o.config.cache_tier = true;
+    } else if (a == "--cache") {
+      if (!value(v)) return fail("missing --cache value");
+      std::string err;
+      const auto cc = cache::cache_config_from_string(v, &err);
+      if (!cc) return fail("bad --cache: " + err);
+      o.config.cache = *cc;
+      cache_flags_set = true;
+    } else if (a == "--cache-bytes") {
+      if (!value(v) || !parse_int(v, n) || n <= 0) return fail("bad --cache-bytes");
+      o.config.cache.bytes = static_cast<std::uint64_t>(n);
+      cache_flags_set = true;
+    } else if (a == "--cache-ttl-ms") {
+      if (!value(v) || !parse_double(v, x) || x <= 0)
+        return fail("bad --cache-ttl-ms");
+      o.config.cache.ttl = sim::SimTime::from_millis(x);
+      cache_flags_set = true;
+    } else if (a == "--cache-coalesce") {
+      if (!value(v)) return fail("missing --cache-coalesce value");
+      if (v == "on")
+        o.config.cache.coalesce = true;
+      else if (v == "off")
+        o.config.cache.coalesce = false;
+      else
+        return fail("bad --cache-coalesce: " + v + " (expected on|off)");
+      cache_flags_set = true;
     } else if (a == "--policy") {
       if (!value(v)) return fail("missing --policy value");
       const auto p = lb::policy_from_string(v);
@@ -408,6 +448,18 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     return fail(
         "--kv, --zipf-s, --key-space, and --kv-millibottlenecks require "
         "--db-tier kv (the MySQL tier ignores key-level routing)");
+  if (cache_flags_set && !o.config.cache_tier)
+    return fail(
+        "--cache, --cache-bytes, --cache-ttl-ms, and --cache-coalesce "
+        "require --cache-tier (no cache tier is built otherwise)");
+  if (o.config.cache_tier && o.config.db_tier != server::DbTier::kKv)
+    return fail(
+        "--cache-tier requires --db-tier kv (the cache fronts the "
+        "replicated KV store; the MySQL tier has no key-level reads)");
+  if (o.config.cache_tier) {
+    std::string err;
+    if (!o.config.cache.validate(&err)) return fail("bad cache config: " + err);
+  }
   using control::OverloadMode;
   if (deadline_ms > 0 && (!overload_set ||
                           (overload_mode != OverloadMode::kDeadline &&
@@ -572,6 +624,17 @@ int run_cli(const CliOptions& options) {
                 << " replayed, " << ks.read_repairs
                 << " read repairs, degraded op time " << ks.degraded_wait_ms
                 << " ms\n";
+    }
+    if (e.cache_tier()) {
+      const auto& cs = e.cache_tier()->stats();
+      std::cout << "cache tier: " << cs.hits << " hits / " << cs.misses
+                << " misses (hit ratio " << cs.hit_ratio() << "), "
+                << cs.coalesced_fills << " coalesced fills, invalidations "
+                << cs.invalidations_sent << " sent / "
+                << cs.invalidations_delivered << " delivered / "
+                << cs.invalidations_dropped << " dropped, " << cs.evictions
+                << " evictions, " << cs.expirations << " expirations, "
+                << cs.storms << " storms\n";
     }
     {
       std::uint64_t sent = 0, replies = 0, timeouts = 0, uses = 0;

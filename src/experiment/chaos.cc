@@ -102,6 +102,12 @@ void ChaosController::apply(std::size_t i) {
       kv->begin_migration(s, spec.duration, spec.severity);
       break;
     }
+    case millib::FaultKind::kInvalidationStorm: {
+      auto* cache = exp_.cache_tier();
+      if (!cache) break;  // No cache tier configured: nothing to storm.
+      cache->begin_invalidation_storm(spec.duration, spec.severity);
+      break;
+    }
   }
   events_[i].applied = sim.now();
   ++applied_;
@@ -155,6 +161,11 @@ void ChaosController::clear(std::size_t i) {
                                    ? 0
                                    : spec.worker % kv->num_shards());
       break;
+    case millib::FaultKind::kInvalidationStorm:
+      // The storm's own tick loop stops itself at spec.end(); this call is
+      // an idempotent backstop.
+      if (auto* cache = exp_.cache_tier()) cache->end_invalidation_storm();
+      break;
   }
   events_[i].cleared = sim.now();
   ++cleared_;
@@ -187,6 +198,16 @@ std::string InvariantReport::to_string() const {
        << kv_migration_shed << " hints_pending=" << kv_hints_pending
        << " crashed_dispatches=" << kv_crashed_dispatches
        << " in_flight=" << kv_ops_in_flight << ")";
+  }
+  if (cache_lookups > 0 || !cache_ok()) {
+    os << "; cache " << (cache_ok() ? "OK" : "VIOLATED")
+       << " (lookups=" << cache_lookups << "=" << cache_hits << "+"
+       << cache_misses << " misses=" << cache_misses << "="
+       << cache_fills_started << "+" << cache_coalesced_fills
+       << " inval=" << cache_invalidations_sent << "="
+       << cache_invalidations_delivered << "+" << cache_invalidations_dropped
+       << " pending=" << cache_invalidations_pending
+       << " in_flight=" << cache_ops_in_flight << ")";
   }
   return os.str();
 }
@@ -228,6 +249,19 @@ InvariantReport check_invariants(Experiment& e) {
     r.kv_hints_pending = s.hints_pending();
     r.kv_crashed_dispatches = s.crashed_dispatches;
     r.kv_ops_in_flight = kv->ops_in_flight();
+  }
+  if (const auto* cache = e.cache_tier()) {
+    const auto& s = cache->stats();
+    r.cache_lookups = s.lookups;
+    r.cache_hits = s.hits;
+    r.cache_misses = s.misses;
+    r.cache_fills_started = s.fills_started;
+    r.cache_coalesced_fills = s.coalesced_fills;
+    r.cache_invalidations_sent = s.invalidations_sent;
+    r.cache_invalidations_delivered = s.invalidations_delivered;
+    r.cache_invalidations_dropped = s.invalidations_dropped;
+    r.cache_invalidations_pending = cache->invalidations_pending();
+    r.cache_ops_in_flight = cache->ops_in_flight();
   }
   return r;
 }
@@ -383,6 +417,78 @@ std::vector<ChaosRunResult> run_kv_chaos_matrix(
       c.mechanism = mechanism;
       c.db_tier = server::DbTier::kKv;
       c.kv.replicas = opt.kv_replicas;
+      // Organic millibottlenecks off: every disturbance comes from the plan,
+      // so a violated invariant is attributable.
+      c.tomcat_millibottlenecks = false;
+      c.tracing = false;
+      c.fault_plan = plan;
+      results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));
+    }
+  }
+  return results;
+}
+
+millib::FaultPlan cache_matrix_plan(const CacheChaosMatrixOptions& opt) {
+  // Hand-written: two invalidation storms bracketing one recovering replica
+  // crash. The second storm is wider (severity 2.0 sweeps twice the keys),
+  // and the crash overlaps it so cache accounting is exercised while fills
+  // run against a degraded quorum. Everything clears before traffic ends.
+  const auto at = [&](double frac) {
+    return sim::SimTime::from_seconds(opt.traffic.to_seconds() * frac);
+  };
+  const int fleet = std::max(1, opt.kv_replicas);
+
+  millib::FaultPlan plan;
+  millib::FaultSpec storm1;
+  storm1.kind = millib::FaultKind::kInvalidationStorm;
+  storm1.start = at(0.15);
+  storm1.duration = at(0.30) - at(0.15);
+  storm1.severity = 1.0;
+  plan.specs.push_back(storm1);
+
+  millib::FaultSpec crash;
+  crash.kind = millib::FaultKind::kReplicaCrash;
+  crash.worker = static_cast<int>(sim::Rng::mix64(opt.chaos_seed) %
+                                  static_cast<std::uint64_t>(fleet));
+  crash.start = at(0.45);
+  crash.duration = at(0.70) - at(0.45);
+  plan.specs.push_back(crash);
+
+  millib::FaultSpec storm2;
+  storm2.kind = millib::FaultKind::kInvalidationStorm;
+  storm2.start = at(0.55);
+  storm2.duration = at(0.75) - at(0.55);
+  storm2.severity = 2.0;
+  plan.specs.push_back(storm2);
+  return plan;
+}
+
+std::vector<ChaosRunResult> run_cache_chaos_matrix(
+    const CacheChaosMatrixOptions& opt) {
+  static constexpr lb::PolicyKind kPolicies[] = {
+      lb::PolicyKind::kCurrentLoad, lb::PolicyKind::kRoundRobin,
+      lb::PolicyKind::kTwoChoices, lb::PolicyKind::kSourceHash};
+  static constexpr lb::MechanismKind kMechanisms[] = {
+      lb::MechanismKind::kBlocking, lb::MechanismKind::kQueueing};
+
+  const millib::FaultPlan plan = cache_matrix_plan(opt);
+  std::vector<ChaosRunResult> results;
+  for (auto policy : kPolicies) {
+    for (auto mechanism : kMechanisms) {
+      ExperimentConfig c;
+      c.label = "cache-chaos/" + lb::to_string(policy) + "/" +
+                lb::to_string(mechanism);
+      c.num_apaches = opt.num_apaches;
+      c.num_tomcats = opt.num_tomcats;
+      c.num_clients = opt.num_clients;
+      c.think_mean = opt.think_mean;
+      c.warmup = sim::SimTime::millis(500);
+      c.policy = policy;
+      c.mechanism = mechanism;
+      c.db_tier = server::DbTier::kKv;
+      c.kv.replicas = opt.kv_replicas;
+      c.cache_tier = true;
+      c.cache.nodes = opt.cache_nodes;
       // Organic millibottlenecks off: every disturbance comes from the plan,
       // so a violated invariant is attributable.
       c.tomcat_millibottlenecks = false;

@@ -26,7 +26,9 @@ namespace ntier::experiment {
 ///   kDiskDegrade -> disk().set_rate_factor (longer writeback stalls)
 ///   kReplicaCrash   -> KvTier::on_replica_crashed/on_replica_recovered
 ///   kShardMigration -> KvTier::begin_migration/complete_migration
-/// The KV kinds are no-ops when the experiment runs the MySQL data tier.
+///   kInvalidationStorm -> CacheTier::begin_invalidation_storm
+/// The KV kinds are no-ops when the experiment runs the MySQL data tier;
+/// the storm kind is a no-op when no cache tier is configured.
 class ChaosController {
  public:
   ChaosController(Experiment& exp, millib::FaultPlan plan);
@@ -102,6 +104,21 @@ struct InvariantReport {
   std::uint64_t kv_crashed_dispatches = 0;
   std::uint64_t kv_ops_in_flight = 0;
 
+  // Cache-tier accounting (all zero when the run had no cache tier). Every
+  // lookup resolves as a hit or a miss; every miss either started a fill or
+  // joined one in flight; every invalidation sent is delivered or dropped —
+  // with nothing pending and nothing in flight after the drain window.
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills_started = 0;
+  std::uint64_t cache_coalesced_fills = 0;
+  std::uint64_t cache_invalidations_sent = 0;
+  std::uint64_t cache_invalidations_delivered = 0;
+  std::uint64_t cache_invalidations_dropped = 0;
+  std::uint64_t cache_invalidations_pending = 0;
+  std::uint64_t cache_ops_in_flight = 0;
+
   bool conservation_ok() const { return in_flight == 0; }
   bool pools_ok() const { return pool_in_use == 0 && pool_waiting == 0; }
   bool crash_ok() const { return crashed_accepts == 0; }
@@ -112,8 +129,16 @@ struct InvariantReport {
            kv_hints_pending == 0 && kv_crashed_dispatches == 0 &&
            kv_ops_in_flight == 0;
   }
+  bool cache_ok() const {
+    return cache_lookups == cache_hits + cache_misses &&
+           cache_misses == cache_fills_started + cache_coalesced_fills &&
+           cache_invalidations_sent ==
+               cache_invalidations_delivered + cache_invalidations_dropped &&
+           cache_invalidations_pending == 0 && cache_ops_in_flight == 0;
+  }
   bool ok() const {
-    return conservation_ok() && pools_ok() && crash_ok() && kv_ok();
+    return conservation_ok() && pools_ok() && crash_ok() && kv_ok() &&
+           cache_ok();
   }
   std::string to_string() const;
 };
@@ -192,5 +217,33 @@ millib::FaultPlan kv_matrix_plan(const KvChaosMatrixOptions& opt);
 /// matrix with db_tier = kKv, and return per-cell results. Each cell's
 /// InvariantReport must satisfy kv_ok() in addition to the usual three.
 std::vector<ChaosRunResult> run_kv_chaos_matrix(const KvChaosMatrixOptions& opt);
+
+/// One cell-sized configuration of the cache chaos matrix: the KV testbed
+/// with the look-aside cache tier layered in front, stressed by
+/// invalidation storms alongside a replica crash.
+struct CacheChaosMatrixOptions {
+  std::uint64_t chaos_seed = 1;
+  int num_apaches = 2;
+  int num_tomcats = 3;
+  int kv_replicas = 5;
+  int cache_nodes = 2;
+  int num_clients = 400;
+  sim::SimTime think_mean = sim::SimTime::millis(200);
+  sim::SimTime traffic = sim::SimTime::seconds(10);
+  sim::SimTime drain = sim::SimTime::seconds(8);
+};
+
+/// Hand-written cache fault schedule: two invalidation storms (the second
+/// wider than the first) plus one recovering replica crash, so cache
+/// accounting is checked both under queue pressure and while the backing
+/// quorum is degraded.
+millib::FaultPlan cache_matrix_plan(const CacheChaosMatrixOptions& opt);
+
+/// Run the cache fault schedule against a policy x mechanism slice of the
+/// matrix with cache_tier = true, and return per-cell results. Each cell's
+/// InvariantReport must satisfy cache_ok() in addition to kv_ok() and the
+/// usual three.
+std::vector<ChaosRunResult> run_cache_chaos_matrix(
+    const CacheChaosMatrixOptions& opt);
 
 }  // namespace ntier::experiment

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/config.h"
 #include "control/overload.h"
 #include "kv/config.h"
 #include "lb/endpoint.h"
@@ -58,6 +59,12 @@ struct ExperimentConfig {
   /// enough members of the hot key's shard (n - r + 1 of them) that the
   /// quorum cannot mask the episode.
   bool kv_millibottlenecks = false;
+  /// Look-aside cache tier between the Tomcats and the KV tier (kKv mode
+  /// only): per-node LRU+TTL stores, invalidate-on-write broadcast, and
+  /// optional single-flight fill coalescing (src/cache).
+  bool cache_tier = false;
+  /// Cache topology and behaviour (cache_tier mode only).
+  cache::CacheConfig cache;
 
   // -- workload ---------------------------------------------------------------
   workload::WorkloadParams workload;

@@ -174,6 +174,24 @@ void Experiment::build() {
     }
   }
 
+  // -- cache tier ---------------------------------------------------------------
+  if (config_.cache_tier) {
+    if (!kv_mode)
+      throw std::invalid_argument(
+          "ExperimentConfig: cache_tier requires db_tier == kKv");
+    // Cache nodes are memory-only: no log writes, so no pdflush. Their
+    // millibottleneck surface is the bounded invalidation queue instead.
+    for (int i = 0; i < config_.cache.nodes; ++i)
+      cache_nodes_.push_back(make_node("cache" + std::to_string(i + 1),
+                                       /*millibottlenecks=*/false,
+                                       os::PdflushConfig{}, i));
+    std::vector<os::Node*> cache_ptrs;
+    for (auto& n : cache_nodes_) cache_ptrs.push_back(n.get());
+    cache_tier_ = std::make_unique<cache::CacheTier>(
+        sim_, std::move(cache_ptrs), kv_tier_.get(), config_.cache);
+    if (trace_) cache_tier_->set_trace(trace_.get());
+  }
+
   std::vector<server::MySqlServer*> replica_ptrs;
   for (auto& m : mysqls_) replica_ptrs.push_back(m.get());
 
@@ -184,7 +202,13 @@ void Experiment::build() {
     dc.link_latency = config_.link_latency;
     dc.overload = config_.overload;
     if (lb::policy_uses_probes(dc.policy)) dc.probe.enabled = true;
-    if (kv_mode)
+    if (cache_tier_)
+      // Each Tomcat's router is pinned to one cache server, so the same key
+      // can be resident on several nodes — which is what the invalidation
+      // broadcast exists for.
+      db_routers_.push_back(std::make_unique<server::DbRouter>(
+          sim_, cache_tier_.get(), i % cache_tier_->num_nodes(), dc));
+    else if (kv_mode)
       db_routers_.push_back(
           std::make_unique<server::DbRouter>(sim_, kv_tier_.get(), dc));
     else
@@ -266,6 +290,11 @@ void Experiment::build() {
           sim_, config_.metric_window, [node = n.get()] {
             return node->cpu().probe_utilisation().combined();
           }));
+    for (auto& n : cache_nodes_)
+      cache_cpu_.push_back(std::make_unique<metrics::PeriodicSampler>(
+          sim_, config_.metric_window, [node = n.get()] {
+            return node->cpu().probe_utilisation().combined();
+          }));
   }
   // iowait sampling doubles as the trace's kIoWait signal, so the samplers
   // exist whenever either consumer is on.
@@ -319,6 +348,7 @@ void Experiment::run() {
   for (auto& n : apache_nodes_) n->page_cache().finish_trace();
   for (auto& n : mysql_nodes_) n->page_cache().finish_trace();
   for (auto& n : kv_nodes_) n->page_cache().finish_trace();
+  for (auto& n : cache_nodes_) n->page_cache().finish_trace();
   // Close the online-detection books after every tier stopped emitting, then
   // let the tail sampler make its final keep decisions with the detector's
   // marks in place.

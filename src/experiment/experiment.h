@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/tier.h"
 #include "experiment/config.h"
 #include "kv/replica.h"
 #include "kv/tier.h"
@@ -68,6 +69,13 @@ class Experiment {
     return *kv_replicas_[static_cast<std::size_t>(i)];
   }
   os::Node& kv_node(int i) { return *kv_nodes_[static_cast<std::size_t>(i)]; }
+  /// The look-aside cache tier; null unless config.cache_tier.
+  cache::CacheTier* cache_tier() { return cache_tier_.get(); }
+  const cache::CacheTier* cache_tier() const { return cache_tier_.get(); }
+  int num_cache_nodes() const { return static_cast<int>(cache_nodes_.size()); }
+  os::Node& cache_node(int i) {
+    return *cache_nodes_[static_cast<std::size_t>(i)];
+  }
   /// Null unless config.fault_plan is non-empty.
   const ChaosController* chaos() const { return chaos_.get(); }
   /// The cross-tier event collector; null unless config.event_trace,
@@ -125,6 +133,9 @@ class Experiment {
   const metrics::TimeSeries& kv_cpu_series(int i) const {
     return kv_cpu_[static_cast<std::size_t>(i)]->series();
   }
+  const metrics::TimeSeries& cache_cpu_series(int i) const {
+    return cache_cpu_[static_cast<std::size_t>(i)]->series();
+  }
 
   /// Mean CPU utilisation over the run, per server (Fig. 5).
   double mean_cpu(const metrics::TimeSeries& s) const;
@@ -164,6 +175,8 @@ class Experiment {
   std::vector<std::unique_ptr<server::MySqlServer>> mysqls_;
   std::vector<std::unique_ptr<kv::KvReplica>> kv_replicas_;
   std::unique_ptr<kv::KvTier> kv_tier_;
+  std::vector<std::unique_ptr<os::Node>> cache_nodes_;
+  std::unique_ptr<cache::CacheTier> cache_tier_;
   std::vector<std::unique_ptr<millib::CapacityStallInjector>> kv_injectors_;
   std::vector<std::unique_ptr<server::DbRouter>> db_routers_;
   std::vector<std::unique_ptr<server::TomcatServer>> tomcats_;
@@ -181,6 +194,7 @@ class Experiment {
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_iowait_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> mysql_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> kv_cpu_;
+  std::vector<std::unique_ptr<metrics::PeriodicSampler>> cache_cpu_;
   /// Emit-only iowait samplers for the non-Tomcat nodes, feeding kIoWait
   /// events into the trace (no series is read back from them).
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> trace_iowait_;

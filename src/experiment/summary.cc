@@ -58,6 +58,16 @@ RunSummary summarize(Experiment& e) {
     s.kv_mean_quorum_wait_ms = ks.mean_quorum_wait_ms();
   }
 
+  if (const auto* cache = e.cache_tier()) {
+    const auto& cs = cache->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_invalidations = cs.invalidations_sent;
+    s.cache_coalesced_fills = cs.coalesced_fills;
+    s.cache_invalidations_dropped = cs.invalidations_dropped;
+    s.cache_hit_ratio = cs.hit_ratio();
+  }
+
   if (const auto* det = e.online_detector()) {
     const auto score =
         millib::OnlineDetector::score(det->episodes(), e.tomcat_truth_intervals());
@@ -96,6 +106,8 @@ RunSummary summarize(Experiment& e) {
       s.mysql_mean_cpu.push_back(e.mean_cpu(e.mysql_cpu_series(i)));
     for (int i = 0; i < e.num_kv_replicas(); ++i)
       s.kv_mean_cpu.push_back(e.mean_cpu(e.kv_cpu_series(i)));
+    for (int i = 0; i < e.num_cache_nodes(); ++i)
+      s.cache_mean_cpu.push_back(e.mean_cpu(e.cache_cpu_series(i)));
   }
   return s;
 }
@@ -161,6 +173,14 @@ void RunSummary::to_json(std::ostream& os) const {
   field(os, "kv_read_repairs", static_cast<double>(kv_read_repairs));
   field(os, "kv_degraded_ms", kv_degraded_ms);
   field(os, "kv_mean_quorum_wait_ms", kv_mean_quorum_wait_ms);
+  field(os, "cache_hits", static_cast<double>(cache_hits));
+  field(os, "cache_misses", static_cast<double>(cache_misses));
+  field(os, "cache_invalidations", static_cast<double>(cache_invalidations));
+  field(os, "cache_coalesced_fills",
+        static_cast<double>(cache_coalesced_fills));
+  field(os, "cache_invalidations_dropped",
+        static_cast<double>(cache_invalidations_dropped));
+  field(os, "cache_hit_ratio", cache_hit_ratio);
   field(os, "online_episodes", static_cast<double>(online_episodes));
   field(os, "online_matched", static_cast<double>(online_matched));
   field(os, "online_truth_episodes",
@@ -178,7 +198,8 @@ void RunSummary::to_json(std::ostream& os) const {
   array(os, "apache_mean_cpu", apache_mean_cpu);
   array(os, "tomcat_mean_cpu", tomcat_mean_cpu);
   array(os, "mysql_mean_cpu", mysql_mean_cpu);
-  array(os, "kv_mean_cpu", kv_mean_cpu, /*comma=*/false);
+  array(os, "kv_mean_cpu", kv_mean_cpu);
+  array(os, "cache_mean_cpu", cache_mean_cpu, /*comma=*/false);
   os << "}\n";
 }
 

@@ -63,6 +63,17 @@ struct RunSummary {
   double kv_degraded_ms = 0;
   double kv_mean_quorum_wait_ms = 0;
 
+  // -- cache tier (all zero when the run had no cache tier) ------------------
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Invalidations the write path sent (delivered + dropped + pending).
+  std::uint64_t cache_invalidations = 0;
+  /// Misses that joined an in-flight fill (single-flight coalescing).
+  std::uint64_t cache_coalesced_fills = 0;
+  /// Invalidations lost to a full queue (stale until TTL expiry).
+  std::uint64_t cache_invalidations_dropped = 0;
+  double cache_hit_ratio = 0;
+
   // -- online detection + tail sampling (all zero when --detect is off) ------
   std::uint64_t online_episodes = 0;
   std::uint64_t online_matched = 0;
@@ -90,6 +101,7 @@ struct RunSummary {
   std::vector<double> tomcat_mean_cpu;
   std::vector<double> mysql_mean_cpu;
   std::vector<double> kv_mean_cpu;
+  std::vector<double> cache_mean_cpu;
 
   /// Serialise as a single JSON object (stable field order, no deps).
   void to_json(std::ostream& os) const;

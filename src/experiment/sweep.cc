@@ -93,6 +93,12 @@ void AggregateSummary::finalize() {
       stats([](const RunSummary& r) { return r.online_median_detection_ms; });
   trace_kept_fraction =
       stats([](const RunSummary& r) { return r.trace_kept_fraction; });
+  cache_hits = stats([](const RunSummary& r) { return r.cache_hits; });
+  cache_misses = stats([](const RunSummary& r) { return r.cache_misses; });
+  cache_invalidations =
+      stats([](const RunSummary& r) { return r.cache_invalidations; });
+  cache_coalesced_fills =
+      stats([](const RunSummary& r) { return r.cache_coalesced_fills; });
 }
 
 std::string AggregateSummary::merged_rt_sketch() const {
@@ -170,7 +176,12 @@ void AggregateSummary::to_json(std::ostream& os) const {
   json_stats(os, "online_episodes", online_episodes);
   json_stats(os, "online_false_positives", online_false_positives);
   json_stats(os, "online_median_detection_ms", online_median_detection_ms);
-  json_stats(os, "trace_kept_fraction", trace_kept_fraction, /*comma=*/false);
+  json_stats(os, "trace_kept_fraction", trace_kept_fraction);
+  json_stats(os, "cache_hits", cache_hits);
+  json_stats(os, "cache_misses", cache_misses);
+  json_stats(os, "cache_invalidations", cache_invalidations);
+  json_stats(os, "cache_coalesced_fills", cache_coalesced_fills,
+             /*comma=*/false);
   os << "  },\n";
   os << "  \"pooled\": {\"completed\": " << pooled.count()
      << ", \"mean_ms\": " << pooled_mean_ms()
@@ -230,6 +241,10 @@ void AggregateSummary::to_csv(std::ostream& os) const {
   row("online_false_positives", online_false_positives);
   row("online_median_detection_ms", online_median_detection_ms);
   row("trace_kept_fraction", trace_kept_fraction);
+  row("cache_hits", cache_hits);
+  row("cache_misses", cache_misses);
+  row("cache_invalidations", cache_invalidations);
+  row("cache_coalesced_fills", cache_coalesced_fills);
 }
 
 void AggregateSummary::per_run_csv(std::ostream& os) const {
@@ -239,7 +254,9 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
         "goodput_rps,total_sheds,deadline_sheds,wasted_work_avoided_ms,"
         "kv_quorum_failed,kv_handoff_dropped,kv_migration_shed,"
         "kv_degraded_ms,online_episodes,online_false_positives,"
-        "online_median_detection_ms,trace_kept_fraction\n";
+        "online_median_detection_ms,trace_kept_fraction,"
+        "cache_hits,cache_misses,cache_invalidations,"
+        "cache_coalesced_fills\n";
   for (std::size_t i = 0; i < per_run.size(); ++i) {
     const RunSummary& r = per_run[i];
     os << i << ',' << (i < run_seeds.size() ? run_seeds[i] : 0) << ','
@@ -253,7 +270,9 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
        << r.kv_quorum_failed << ',' << r.kv_handoff_dropped << ','
        << r.kv_migration_shed << ',' << r.kv_degraded_ms << ','
        << r.online_episodes << ',' << r.online_false_positives << ','
-       << r.online_median_detection_ms << ',' << r.trace_kept_fraction << '\n';
+       << r.online_median_detection_ms << ',' << r.trace_kept_fraction << ','
+       << r.cache_hits << ',' << r.cache_misses << ','
+       << r.cache_invalidations << ',' << r.cache_coalesced_fills << '\n';
   }
 }
 

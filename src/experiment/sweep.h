@@ -72,6 +72,9 @@ struct AggregateSummary {
   // Online detection + tail sampling (zero across the board when off).
   MetricStats online_episodes, online_false_positives,
       online_median_detection_ms, trace_kept_fraction;
+  // Cache tier (zero across the board when no cache tier was configured).
+  MetricStats cache_hits, cache_misses, cache_invalidations,
+      cache_coalesced_fills;
 
   /// Every replica's client.rt_ms DDSketch merged in run-index order;
   /// empty string when no run carried a sketch. Because merging ordered

@@ -94,6 +94,7 @@ CausalChainReport CausalChainAnalyzer::analyze(
     bool degraded;
   };
   std::vector<KvOp> kv_ops;
+  std::vector<SimTime> cache_misses;
   std::unordered_map<std::uint64_t, ReqState> reqs;
   // Committed queue per Tomcat, rebuilt from balancer-side deltas.
   std::map<int, metrics::GaugeSeries> committed;
@@ -164,6 +165,20 @@ CausalChainReport CausalChainAnalyzer::analyze(
         break;
       case EventKind::kKvMigration:
         if (e.aux > 0) ++report.kv_migrations;  // aux = +1 marks the start
+        break;
+      case EventKind::kCacheHit:
+        ++report.cache_hit_events;
+        break;
+      case EventKind::kCacheMiss:
+        ++report.cache_miss_events;
+        cache_misses.push_back(e.at);
+        break;
+      case EventKind::kCacheInvalidate:
+        ++report.cache_invalidation_events;
+        if (e.aux < 0) ++report.cache_invalidation_drops;
+        break;
+      case EventKind::kCacheCoalesced:
+        ++report.cache_coalesced_events;
         break;
       case EventKind::kClientSend:
         reqs[e.request].send = std::min(reqs[e.request].send, e.at);
@@ -297,10 +312,23 @@ CausalChainReport CausalChainAnalyzer::analyze(
       ++c.sheds.count;
       c.sheds.magnitude = static_cast<double>(c.sheds.count);
     }
+    // Cache misses during a cache-tier episode: the storm's first
+    // downstream hop (invalidations evict the hot keys, reads miss).
+    if (c.tier == Tier::kCache) {
+      for (const SimTime at : cache_misses) {
+        if (at < lo || at > hi) continue;
+        if (!c.cache_miss.present)
+          c.cache_miss.lag_ms = (at - c.start).to_millis();
+        c.cache_miss.present = true;
+        ++c.cache_miss.count;
+        c.cache_miss.magnitude = static_cast<double>(c.cache_miss.count);
+      }
+    }
     // Slow quorum completions during a KV-node episode: the hot-shard
     // chain's first downstream hop (node = replica here, shard membership
-    // is not in the trace, so any overlapping slow op joins).
-    if (c.tier == Tier::kKv) {
+    // is not in the trace, so any overlapping slow op joins). Cache-tier
+    // episodes join too — the storm's miss spike lands on the hot shard.
+    if (c.tier == Tier::kKv || c.tier == Tier::kCache) {
       for (const auto& op : kv_ops) {
         if (op.wait_ms < config_.kv_slow_quorum_ms) continue;
         if (op.at < lo || op.at > hi) continue;
@@ -436,8 +464,10 @@ void CausalChainReport::print(std::ostream& os) const {
     print_link(os, "queue spike", c.queue_spike, "peak");
     print_link(os, "syn retransmits", c.retransmits, "count");
     if (c.sheds.present) print_link(os, "overload sheds", c.sheds, "count");
-    if (c.tier == obs::Tier::kKv)
+    if (c.tier == obs::Tier::kKv || c.tier == obs::Tier::kCache)
       print_link(os, "slow kv quorum", c.kv_quorum, "max_ms");
+    if (c.tier == obs::Tier::kCache)
+      print_link(os, "cache miss spike", c.cache_miss, "count");
     std::snprintf(buf, sizeof buf, "    %-18s %llu attributed\n", "vlrts",
                   static_cast<unsigned long long>(c.vlrts));
     os << buf;
@@ -462,6 +492,17 @@ void CausalChainReport::print(std::ostream& os) const {
                     static_cast<unsigned long long>(s.degraded_ops));
       os << buf;
     }
+  }
+  if (cache_hit_events || cache_miss_events || cache_invalidation_events) {
+    std::snprintf(buf, sizeof buf,
+                  "cache tier: %llu hits, %llu misses, %llu invalidations "
+                  "(%llu dropped), %llu coalesced fills\n",
+                  static_cast<unsigned long long>(cache_hit_events),
+                  static_cast<unsigned long long>(cache_miss_events),
+                  static_cast<unsigned long long>(cache_invalidation_events),
+                  static_cast<unsigned long long>(cache_invalidation_drops),
+                  static_cast<unsigned long long>(cache_coalesced_events));
+    os << buf;
   }
   if (admission_shed_events || deadline_shed_events || limit_updates) {
     std::snprintf(buf, sizeof buf,
@@ -523,6 +564,7 @@ void CausalChainReport::to_json(std::ostream& os) const {
     json_link(os, "retransmits", c.retransmits);
     json_link(os, "sheds", c.sheds);
     json_link(os, "kv_quorum", c.kv_quorum);
+    json_link(os, "cache_miss", c.cache_miss);
     os << "\"vlrts\":" << c.vlrts << "}";
   }
   os << "],\"kv\":{\"handoff_replays\":" << kv_handoff_replays
@@ -536,7 +578,11 @@ void CausalChainReport::to_json(std::ostream& os) const {
        << ",\"mean_wait_ms\":" << s.mean_wait_ms
        << ",\"max_wait_ms\":" << s.max_wait_ms << "}";
   }
-  os << "]},\"vlrt\":[";
+  os << "]},\"cache\":{\"hits\":" << cache_hit_events
+     << ",\"misses\":" << cache_miss_events
+     << ",\"invalidations\":" << cache_invalidation_events
+     << ",\"invalidation_drops\":" << cache_invalidation_drops
+     << ",\"coalesced\":" << cache_coalesced_events << "},\"vlrt\":[";
   for (std::size_t i = 0; i < vlrt.size(); ++i) {
     const VlrtAttribution& v = vlrt[i];
     if (i) os << ",";

@@ -76,9 +76,15 @@ struct EpisodeChain {
   /// Slow KV quorum completions (wait >= kv_slow_quorum_ms) during the
   /// episode — the key-level signature of a hot-shard millibottleneck:
   /// a stalled shard member slows every quorum touching that shard, which
-  /// no server-choice policy upstream can route around. Only joined onto
-  /// KV-tier episodes; not part of full_chain().
+  /// no server-choice policy upstream can route around. Joined onto KV- and
+  /// cache-tier episodes (a storm's miss spike lands on the hot shard);
+  /// not part of full_chain().
   ChainLink kv_quorum;
+  /// Cache misses during a cache-tier episode (invalidation storm): the
+  /// miss-spike hop of the stampede chain write burst → invalidation storm
+  /// → miss spike → hot-shard queue → VLRT. Only joined onto cache-tier
+  /// episodes; not part of full_chain().
+  ChainLink cache_miss;
   /// Overload-control sheds (admission_shed / deadline_expired events) fired
   /// while the episode — plus slack — was in progress: the counter-measures
   /// reacting to the stall. Not part of full_chain(): sheds only exist when
@@ -139,6 +145,12 @@ struct CausalChainReport {
   std::uint64_t kv_handoff_replays = 0;
   std::uint64_t kv_read_repairs = 0;
   std::uint64_t kv_migrations = 0;
+  /// Cache-tier activity over the whole trace (zero without a cache tier).
+  std::uint64_t cache_hit_events = 0;
+  std::uint64_t cache_miss_events = 0;
+  std::uint64_t cache_invalidation_events = 0;
+  std::uint64_t cache_invalidation_drops = 0;
+  std::uint64_t cache_coalesced_events = 0;
   /// Events inspected / per-request joins, for sanity output.
   std::uint64_t events = 0;
   std::uint64_t requests = 0;

@@ -18,6 +18,7 @@ std::string to_string(FaultKind k) {
     case FaultKind::kDiskDegrade: return "disk_degrade";
     case FaultKind::kReplicaCrash: return "replica_crash";
     case FaultKind::kShardMigration: return "shard_migration";
+    case FaultKind::kInvalidationStorm: return "invalidation_storm";
   }
   return "?";
 }
@@ -42,6 +43,9 @@ std::string FaultSpec::to_string() const {
     case FaultKind::kShardMigration:
       os << " severity=" << severity;  // migration copy intensity
       break;
+    case FaultKind::kInvalidationStorm:
+      os << " severity=" << severity;  // hot-key sweep width multiplier
+      break;
     case FaultKind::kCrash:
     case FaultKind::kReplicaCrash:
       break;
@@ -63,9 +67,9 @@ FaultPlan FaultPlan::randomized(std::uint64_t seed,
                                 int num_workers) {
   if (num_workers <= 0)
     throw std::invalid_argument("FaultPlan: num_workers must be positive");
-  constexpr std::size_t kNumKinds = 8;
+  constexpr std::size_t kNumKinds = 9;
   if (config.kind_weights.size() != kNumKinds)
-    throw std::invalid_argument("FaultPlan: kind_weights must have 8 entries");
+    throw std::invalid_argument("FaultPlan: kind_weights must have 9 entries");
 
   sim::Rng rng(seed);
   FaultPlan plan;

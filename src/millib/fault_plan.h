@@ -27,6 +27,10 @@ enum class FaultKind : std::uint8_t {
                      // hinted handoff replays the missed writes on restart
   kShardMigration,   // seeded rebalance of one shard (worker = shard index);
                      // chunked copy CPU + a write-shedding handover window
+  // -- cache tier (appended to keep prior numeric values stable) ---------------
+  kInvalidationStorm,  // write burst sweeping the hot key set: periodic
+                       // invalidations of the hottest Zipf ranks for the
+                       // fault's duration (severity scales the sweep width)
 };
 
 std::string to_string(FaultKind k);
@@ -65,10 +69,10 @@ struct FaultPlanConfig {
   sim::SimTime max_duration = sim::SimTime::millis(1800);
   std::size_t max_faults = 16;
   /// Relative draw weights indexed by FaultKind order; zero disables a kind.
-  /// The KV kinds default to zero (no-ops against a MySQL tier); kv chaos
-  /// scenarios raise them explicitly. Appending zero-weight tail entries
-  /// leaves every existing seed's draw sequence intact.
-  std::vector<double> kind_weights = {3, 1, 2, 2, 1, 1, 0, 0};
+  /// The KV and cache kinds default to zero (no-ops against a MySQL tier);
+  /// kv/cache chaos scenarios raise them explicitly. Appending zero-weight
+  /// tail entries leaves every existing seed's draw sequence intact.
+  std::vector<double> kind_weights = {3, 1, 2, 2, 1, 1, 0, 0, 0};
   double min_severity = 0.6;
   double max_severity = 1.0;
   sim::SimTime max_extra_latency = sim::SimTime::millis(20);

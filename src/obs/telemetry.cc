@@ -168,6 +168,8 @@ void TelemetryRegistry::to_csv(std::ostream& os) const {
 TelemetryFeed::TelemetryFeed(TelemetryRegistry& registry, int num_tomcats) {
   rt_ = &registry.instrument("client.rt_ms", Tier::kClient);
   retransmits_ = &registry.instrument("client.syn_retransmit", Tier::kClient);
+  cache_hit_ = &registry.instrument("cache.hit", Tier::kCache);
+  cache_backlog_ = &registry.instrument("cache.inval_backlog", Tier::kCache);
   committed_.reserve(static_cast<std::size_t>(num_tomcats));
   iowait_.reserve(static_cast<std::size_t>(num_tomcats));
   for (int i = 0; i < num_tomcats; ++i) {
@@ -204,6 +206,17 @@ void TelemetryFeed::observe(const TraceEvent& e) {
       iowait_[n]->record(e.at, e.value);
       break;
     }
+    case EventKind::kCacheHit:
+      cache_hit_->record(e.at, 1.0);
+      break;
+    case EventKind::kCacheMiss:
+      cache_hit_->record(e.at, 0.0);
+      break;
+    case EventKind::kCacheInvalidate:
+      // value carries the queue depth at delivery (aux=+1) or the full
+      // capacity at a drop (aux=-1) — either way, the backlog signal.
+      cache_backlog_->record(e.at, e.value);
+      break;
     default:
       break;
   }

@@ -178,7 +178,10 @@ class TelemetryRegistry {
 /// The TraceSink that feeds the standard instruments from the cross-tier
 /// event stream: client response times and retransmits, per-Tomcat committed
 /// queues (rebuilt from balancer deltas, the same accounting the offline
-/// analyzer uses) and iowait. Instrument pointers are resolved once at
+/// analyzer uses) and iowait — plus, when a cache tier emits, the rolling
+/// hit indicator ("cache.hit": 1 per hit, 0 per miss, so a window avg() is
+/// the windowed hit ratio) and the invalidation-queue backlog sampled at
+/// each delivery/drop. Instrument pointers are resolved once at
 /// construction so the per-event cost is a switch plus a record().
 class TelemetryFeed : public TraceSink {
  public:
@@ -189,6 +192,8 @@ class TelemetryFeed : public TraceSink {
  private:
   Instrument* rt_ = nullptr;
   Instrument* retransmits_ = nullptr;
+  Instrument* cache_hit_ = nullptr;
+  Instrument* cache_backlog_ = nullptr;
   std::vector<Instrument*> committed_;
   std::vector<Instrument*> iowait_;
   std::vector<double> committed_now_;

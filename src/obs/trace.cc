@@ -125,6 +125,10 @@ const char* to_string(EventKind k) {
     case EventKind::kKvHandoffReplay: return "kv_handoff_replay";
     case EventKind::kKvReadRepair: return "kv_read_repair";
     case EventKind::kKvMigration: return "kv_migration";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kCacheInvalidate: return "cache_invalidate";
+    case EventKind::kCacheCoalesced: return "cache_coalesced";
   }
   return "?";
 }
@@ -137,6 +141,7 @@ const char* to_string(Tier t) {
     case Tier::kTomcat: return "tomcat";
     case Tier::kMysql: return "mysql";
     case Tier::kKv: return "kv";
+    case Tier::kCache: return "cache";
   }
   return "?";
 }

@@ -73,6 +73,16 @@ enum class EventKind : std::uint8_t {
   kKvMigration,     // shard migration lifecycle (node = shard, worker =
                     // destination replica; aux = +1 start / 0 chunk / -1 done
                     // / -2 aborted)
+  // -- cache tier (appended to keep prior numeric values stable) ----------------
+  kCacheHit,        // look-aside hit (node = cache node, value = resident
+                    // entries after the lookup)
+  kCacheMiss,       // look-aside miss (node = cache node, value = resident
+                    // entries after the lookup)
+  kCacheInvalidate, // invalidation resolved (node = cache node, value =
+                    // backlog at emission, aux = +1 delivered / -1 dropped
+                    // on a full queue)
+  kCacheCoalesced,  // miss joined an in-flight fill instead of fetching
+                    // (node = cache node, value = waiters on the key)
 };
 
 const char* to_string(EventKind k);
@@ -85,6 +95,7 @@ enum class Tier : std::uint8_t {
   kTomcat,
   kMysql,
   kKv,  // replicated KV data tier (node = shard or replica per EventKind)
+  kCache,  // look-aside cache tier (node = cache node; -1 = tier-wide)
 };
 
 const char* to_string(Tier t);

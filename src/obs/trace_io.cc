@@ -228,7 +228,7 @@ std::string string_field(const std::string& line, const char* key,
 }
 
 std::optional<EventKind> parse_kind(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kKvMigration); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kCacheCoalesced); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -236,7 +236,7 @@ std::optional<EventKind> parse_kind(const std::string& s) {
 }
 
 std::optional<Tier> parse_tier(const std::string& s) {
-  for (int t = 0; t <= static_cast<int>(Tier::kKv); ++t) {
+  for (int t = 0; t <= static_cast<int>(Tier::kCache); ++t) {
     const auto tier = static_cast<Tier>(t);
     if (s == to_string(tier)) return tier;
   }

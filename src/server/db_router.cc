@@ -24,6 +24,19 @@ DbRouter::DbRouter(sim::Simulation& simu, kv::KvTier* tier,
   if (!kv_) throw std::invalid_argument("DbRouter: null kv tier");
 }
 
+DbRouter::DbRouter(sim::Simulation& simu, cache::CacheTier* cache,
+                   int cache_node, DbRouterConfig config)
+    : sim_(simu),
+      kv_(cache ? &cache->backing() : nullptr),
+      cache_(cache),
+      cache_node_(cache_node),
+      config_(config),
+      link_(config.link_latency) {
+  if (!cache_) throw std::invalid_argument("DbRouter: null cache tier");
+  if (cache_node_ < 0 || cache_node_ >= cache_->num_nodes())
+    throw std::invalid_argument("DbRouter: cache node out of range");
+}
+
 DbRouter::DbRouter(sim::Simulation& simu, std::vector<MySqlServer*> replicas,
                    DbRouterConfig config)
     : sim_(simu),
@@ -71,18 +84,25 @@ void DbRouter::query(const proto::RequestPtr& req, sim::SimTime demand,
     return;
   }
   if (kv_) {
-    // Key-routed quorum operation. A failed quorum surfaces exactly like a
-    // SQL error: counted here, and the servlet's round trip completes so
-    // request conservation is untouched.
+    // Key-routed quorum operation (cache-fronted when a cache tier was
+    // attached). A failed quorum surfaces exactly like a SQL error: counted
+    // here, and the servlet's round trip completes so request conservation
+    // is untouched.
     ++routed_;
     const auto finish = [this, done = std::move(done)](bool ok) mutable {
       if (!ok) ++errors_;
       done();
     };
-    if (is_write)
+    if (cache_) {
+      if (is_write)
+        cache_->write(cache_node_, req, demand, finish);
+      else
+        cache_->read(cache_node_, req, demand, finish);
+    } else if (is_write) {
       kv_->write(req, demand, finish);
-    else
+    } else {
       kv_->read(req, demand, finish);
+    }
     return;
   }
   balancer_->assign(req, [this, req, demand,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/tier.h"
 #include "control/overload.h"
 #include "kv/tier.h"
 #include "lb/load_balancer.h"
@@ -65,6 +66,12 @@ class DbRouter {
   /// and per-replica pools do not exist in this mode (has_balancer() is
   /// false); overload deadline shedding still applies at the router.
   DbRouter(sim::Simulation& simu, kv::KvTier* tier, DbRouterConfig config = {});
+  /// Cache-fronted KV router: reads go through the look-aside cache tier at
+  /// `cache_node` (this Tomcat's pinned cache server) and fall through to
+  /// the KV quorum on a miss; writes forward to the quorum and broadcast
+  /// invalidations on commit. Everything else matches kKv mode.
+  DbRouter(sim::Simulation& simu, cache::CacheTier* cache, int cache_node,
+           DbRouterConfig config = {});
 
   DbRouter(const DbRouter&) = delete;
   DbRouter& operator=(const DbRouter&) = delete;
@@ -86,6 +93,9 @@ class DbRouter {
   DbTier tier() const { return kv_ ? DbTier::kKv : DbTier::kMysql; }
   bool has_balancer() const { return balancer_ != nullptr; }
   kv::KvTier* kv_tier() { return kv_; }
+  /// Null unless constructed in cache-fronted mode.
+  cache::CacheTier* cache_tier() { return cache_; }
+  int cache_node() const { return cache_node_; }
   int num_replicas() const {
     return kv_ ? kv_->num_replicas() : balancer_->num_workers();
   }
@@ -102,6 +112,8 @@ class DbRouter {
   sim::Simulation& sim_;
   std::vector<MySqlServer*> replicas_;
   kv::KvTier* kv_ = nullptr;  // non-null iff constructed in kKv mode
+  cache::CacheTier* cache_ = nullptr;  // non-null iff cache-fronted
+  int cache_node_ = 0;  // this router's pinned cache server
   DbRouterConfig config_;
   net::Link link_;
   std::unique_ptr<lb::LoadBalancer> balancer_;

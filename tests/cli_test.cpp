@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/config.h"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -248,6 +250,80 @@ TEST(Cli, RejectsKvFlagsWithoutKvTier) {
 TEST(Cli, RunCliKvSmoke) {
   auto r = parse({"--db-tier", "kv", "--clients", "200", "--think-ms", "100",
                   "--duration-s", "1", "--quiet", "--no-millibottlenecks"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(run_cli(*r.options), 0);
+}
+
+TEST(Cli, CacheTierFlagsParseAndRoundTrip) {
+  const auto r = parse({"--db-tier", "kv", "--cache-tier", "--cache",
+                        "nodes=3,entry=1024,inval_queue=256", "--cache-bytes",
+                        "1048576", "--cache-ttl-ms", "2500",
+                        "--cache-coalesce", "off"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& c = r.options->config;
+  EXPECT_TRUE(c.cache_tier);
+  EXPECT_EQ(c.cache.nodes, 3);
+  EXPECT_EQ(c.cache.bytes, 1'048'576u);
+  EXPECT_EQ(c.cache.entry_bytes, 1'024u);
+  EXPECT_EQ(c.cache.ttl, sim::SimTime::millis(2500));
+  EXPECT_EQ(c.cache.invalidation_queue_capacity, 256u);
+  EXPECT_FALSE(c.cache.coalesce);
+  // The parsed config round-trips through its canonical rendering.
+  std::string err;
+  const auto again = cache::cache_config_from_string(c.cache.to_string(), &err);
+  ASSERT_TRUE(again.has_value()) << err;
+  EXPECT_EQ(again->to_string(), c.cache.to_string());
+}
+
+TEST(Cli, RejectsCacheTierWithoutKvTier) {
+  const auto r = parse({"--cache-tier"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("--cache-tier requires --db-tier kv"),
+            std::string::npos)
+      << r.error;
+  EXPECT_FALSE(parse({"--db-tier", "mysql", "--cache-tier"}).ok());
+}
+
+TEST(Cli, RejectsCacheFlagsWithoutCacheTier) {
+  for (auto args :
+       {std::vector<std::string>{"--cache", "nodes=2"},
+        std::vector<std::string>{"--cache-bytes", "1048576"},
+        std::vector<std::string>{"--cache-ttl-ms", "500"},
+        std::vector<std::string>{"--cache-coalesce", "on"}}) {
+    const auto r = parse_cli(args);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("require --cache-tier"), std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Cli, RejectsBadCacheConfig) {
+  const auto r = parse({"--db-tier", "kv", "--cache-tier", "--cache",
+                        "bogus=1"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("bad --cache:"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("unknown key"), std::string::npos) << r.error;
+  // The geometry reason surfaces through the CLI error verbatim.
+  const auto tiny = parse({"--db-tier", "kv", "--cache-tier", "--cache-bytes",
+                           "16"});
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_NE(tiny.error.find("cannot hold a single entry"), std::string::npos)
+      << tiny.error;
+  EXPECT_FALSE(parse({"--db-tier", "kv", "--cache-tier", "--cache-bytes",
+                      "0"}).ok());
+  EXPECT_FALSE(parse({"--db-tier", "kv", "--cache-tier", "--cache-ttl-ms",
+                      "0"}).ok());
+  const auto coalesce = parse({"--db-tier", "kv", "--cache-tier",
+                               "--cache-coalesce", "maybe"});
+  ASSERT_FALSE(coalesce.ok());
+  EXPECT_NE(coalesce.error.find("expected on|off"), std::string::npos)
+      << coalesce.error;
+}
+
+TEST(Cli, RunCliCacheSmoke) {
+  auto r = parse({"--db-tier", "kv", "--cache-tier", "--clients", "200",
+                  "--think-ms", "100", "--duration-s", "1", "--quiet",
+                  "--no-millibottlenecks"});
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(run_cli(*r.options), 0);
 }

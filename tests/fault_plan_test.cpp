@@ -53,7 +53,7 @@ TEST(FaultPlan, RandomizedRespectsConfigBounds) {
 
 TEST(FaultPlan, ZeroWeightDisablesAKind) {
   FaultPlanConfig cfg;
-  cfg.kind_weights = {1, 0, 0, 0, 0, 0, 0, 0};  // capacity stalls only
+  cfg.kind_weights = {1, 0, 0, 0, 0, 0, 0, 0, 0};  // capacity stalls only
   cfg.max_faults = 32;
   const auto plan = FaultPlan::randomized(7, cfg, 4);
   for (const auto& spec : plan.specs)
@@ -96,7 +96,7 @@ TEST(FaultPlan, MergeKeepsScheduleOrder) {
 TEST(FaultPlan, InvalidInputsThrow) {
   FaultPlanConfig cfg;
   EXPECT_THROW(FaultPlan::randomized(1, cfg, 0), std::invalid_argument);
-  cfg.kind_weights = {1, 2, 3};  // must list all eight kinds
+  cfg.kind_weights = {1, 2, 3};  // must list all nine kinds
   EXPECT_THROW(FaultPlan::randomized(1, cfg, 4), std::invalid_argument);
 }
 
@@ -108,7 +108,7 @@ TEST(FaultPlan, SpecToStringNamesEveryKind) {
        {FaultKind::kCapacityStall, FaultKind::kCorrelatedStall,
         FaultKind::kCrash, FaultKind::kLinkFault, FaultKind::kPoolLeak,
         FaultKind::kDiskDegrade, FaultKind::kReplicaCrash,
-        FaultKind::kShardMigration}) {
+        FaultKind::kShardMigration, FaultKind::kInvalidationStorm}) {
     spec.kind = kind;
     EXPECT_NE(spec.to_string().find(to_string(kind)), std::string::npos);
   }
