@@ -1,9 +1,11 @@
 #include "cli/cli.h"
 
 #include <charconv>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "control/overload.h"
 #include "experiment/chaos.h"
@@ -13,6 +15,7 @@
 #include "experiment/summary.h"
 #include "experiment/sweep.h"
 #include "workload/trace.h"
+#include "workload/trace_gen.h"
 
 namespace ntier::cli {
 
@@ -25,14 +28,14 @@ bool parse_int(const std::string& s, long long& out) {
   return ec == std::errc() && ptr == end;
 }
 
+// from_chars, not std::stod: stod honours the global locale (a comma-decimal
+// locale breaks "--zipf-s 0.8") and accepts trailing garbage ("1.5abc").
+// "nan"/"inf" parse but make no sense as flag values, so reject them too.
 bool parse_double(const std::string& s, double& out) {
-  try {
-    std::size_t pos = 0;
-    out = std::stod(s, &pos);
-    return pos == s.size();
-  } catch (...) {
-    return false;
-  }
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end && std::isfinite(out);
 }
 
 std::optional<lb::MechanismKind> parse_mechanism(const std::string& s) {
@@ -156,7 +159,8 @@ millibottleneck environment
 multi-seed sweeps
   --sweep-seeds N        run N replicas with per-replica derived seeds and
                          report mean ± 95% CI per metric plus a pooled
-                         latency distribution (incompatible with traces)
+                         latency distribution (composable with trace replay;
+                         incompatible with --record-trace / --trace)
   --jobs J               sweep worker threads (default 1); the aggregate
                          output is byte-identical for every J
 
@@ -176,10 +180,26 @@ overload control
                          brownout priorities (only with --overload
                          admission|full)
 
-traces
-  --record-trace FILE    save the run's arrival trace (CSV)
+traces (arrival traces: CSV "at_ns,client,interaction[,key,priority]")
+  --record-trace FILE    save the run's arrival trace, rich schema (data key
+                         + brownout priority ride along)
   --replay-trace FILE    drive the run open-loop from a saved trace
-                         (replaces the closed-loop clients)
+                         (replaces the closed-loop clients; rich traces
+                         replay the recorded keys/priorities exactly)
+  --trace-replay FILE    alias of --replay-trace
+  --trace-gen SPEC       synthesize a production-shaped trace and replay it
+                         in-process; SPEC is key=value pairs: seed, duration,
+                         base-rps, diurnal-amplitude, diurnal-period,
+                         flash-at, flash-duration, flash-multiplier,
+                         session-mean, think-mean, abandon-p
+                         (e.g. duration=60,base-rps=2000,diurnal-amplitude=0.3,
+                         flash-at=30,flash-multiplier=2)
+  --trace-out FILE       with --trace-gen: write the generated trace to FILE
+                         and exit without running (a replayable artifact)
+  --replay-timeout-ms X  open-loop client patience: replayed requests
+                         unanswered this long are abandoned (default: wait
+                         forever)
+  --replay-scale X       time-scale the trace before replay (0.5 = 2x rate)
   --trace FILE           write the cross-tier event trace (client sends,
                          SYN retransmits, backlog drops, get_endpoint
                          polling, backend service, pdflush episodes, ...)
@@ -418,8 +438,23 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
         return fail("unknown trace sample mode: " + v + " (expected full|tail)");
     } else if (a == "--record-trace") {
       if (!value(o.record_trace_path)) return fail("missing --record-trace value");
-    } else if (a == "--replay-trace") {
-      if (!value(o.replay_trace_path)) return fail("missing --replay-trace value");
+    } else if (a == "--replay-trace" || a == "--trace-replay") {
+      if (!value(o.replay_trace_path)) return fail("missing " + a + " value");
+    } else if (a == "--trace-gen") {
+      if (!value(o.trace_gen_spec)) return fail("missing --trace-gen value");
+      std::string err;
+      if (!workload::trace_gen_spec_from_string(o.trace_gen_spec, &err))
+        return fail("bad --trace-gen: " + err);
+    } else if (a == "--trace-out") {
+      if (!value(o.trace_out_path)) return fail("missing --trace-out value");
+    } else if (a == "--replay-timeout-ms") {
+      if (!value(v) || !parse_double(v, x) || x <= 0)
+        return fail("bad --replay-timeout-ms");
+      o.replay_timeout_ms = x;
+    } else if (a == "--replay-scale") {
+      if (!value(v) || !parse_double(v, x) || x <= 0)
+        return fail("bad --replay-scale");
+      o.replay_scale = x;
     } else if (a == "--json") {
       if (!value(o.json_path)) return fail("missing --json value");
     } else if (a == "--csv") {
@@ -431,11 +466,27 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     }
   }
   if (o.sweep_seeds > 0 &&
-      (!o.record_trace_path.empty() || !o.replay_trace_path.empty() ||
-       !o.trace_path.empty()))
+      (!o.record_trace_path.empty() || !o.trace_path.empty()))
     return fail(
-        "--sweep-seeds cannot be combined with --record-trace, "
-        "--replay-trace, or --trace (traces are per-run artifacts)");
+        "--sweep-seeds cannot be combined with --record-trace or --trace "
+        "(those are per-run artifacts; replaying a trace across a sweep is "
+        "fine)");
+  if (!o.trace_gen_spec.empty() && !o.replay_trace_path.empty())
+    return fail(
+        "--trace-gen and --replay-trace both name a replay source; pick one "
+        "(generate to a file with --trace-out, then replay it)");
+  if (!o.trace_out_path.empty() && o.trace_gen_spec.empty())
+    return fail("--trace-out requires --trace-gen (nothing else writes it)");
+  if (!o.record_trace_path.empty() &&
+      (!o.replay_trace_path.empty() || !o.trace_gen_spec.empty()))
+    return fail(
+        "--record-trace cannot be combined with a replay source (the "
+        "closed loop is idled during replay, so there is nothing to record)");
+  if ((o.replay_timeout_ms > 0 || o.replay_scale > 0) &&
+      o.replay_trace_path.empty() && o.trace_gen_spec.empty())
+    return fail(
+        "--replay-timeout-ms / --replay-scale require --replay-trace or "
+        "--trace-gen (they only affect open-loop replay)");
   if (o.config.trace_tail.enabled &&
       (!o.config.online_detect || o.trace_path.empty()))
     return fail(
@@ -497,19 +548,49 @@ int run_cli(const CliOptions& options) {
     return 0;
   }
   experiment::ExperimentConfig cfg = options.config;
-  const bool replay = !options.replay_trace_path.empty();
 
-  std::optional<workload::ArrivalTrace> trace;
-  if (replay) {
-    std::ifstream f(options.replay_trace_path);
-    if (!f) {
-      std::cerr << "cannot read " << options.replay_trace_path << "\n";
+  // -- replay source: a saved trace, or one synthesized from --trace-gen ------
+  std::shared_ptr<workload::ArrivalTrace> trace;
+  if (!options.trace_gen_spec.empty()) {
+    const auto spec =
+        workload::trace_gen_spec_from_string(options.trace_gen_spec, nullptr);
+    const workload::TraceGenerator gen(*spec);  // validated by parse_cli
+    const workload::RubbosWorkload gen_workload(cfg.workload);
+    auto generated = gen.generate(gen_workload);
+    if (!options.trace_out_path.empty()) {
+      // Artifact mode: write the trace and stop — the point is a replayable
+      // file, not a run.
+      try {
+        generated.save_file(options.trace_out_path);
+      } catch (const std::exception& err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+      }
+      if (!options.quiet)
+        std::cout << "generated " << generated.size() << " arrivals ("
+                  << spec->to_string() << ") to " << options.trace_out_path
+                  << "\n";
+      return 0;
+    }
+    trace = std::make_shared<workload::ArrivalTrace>(std::move(generated));
+  } else if (!options.replay_trace_path.empty()) {
+    try {
+      trace = std::make_shared<workload::ArrivalTrace>(
+          workload::ArrivalTrace::load_file(options.replay_trace_path));
+    } catch (const std::exception& err) {
+      std::cerr << err.what() << "\n";
       return 1;
     }
-    trace = workload::ArrivalTrace::load(f);
-    // Idle the closed loop; the replayer drives the load.
-    cfg.num_clients = 1;
-    cfg.think_mean = sim::SimTime::seconds(1'000'000);
+  }
+  if (trace) {
+    if (options.replay_scale > 0) trace->scale_time(options.replay_scale);
+    // Loaders accept out-of-order rows (edited/merged traces); the replayer
+    // does not — restore the sort contract here.
+    if (!trace->sorted()) trace->sort();
+    cfg.replay_trace = trace;
+    if (options.replay_timeout_ms > 0)
+      cfg.replay_client_timeout =
+          sim::SimTime::from_millis(options.replay_timeout_ms);
     cfg.label += "_replay";
   }
 
@@ -533,44 +614,19 @@ int run_cli(const CliOptions& options) {
   experiment::Experiment e(std::move(cfg));
 
   workload::ArrivalTrace recorded;
-  if (!options.record_trace_path.empty() && !replay) {
+  if (!options.record_trace_path.empty()) {
     e.mutable_clients().set_issue_hook(
-        [&recorded](sim::SimTime at, std::uint16_t client,
-                    std::uint16_t interaction) {
-          recorded.add(at, client, interaction);
+        [&recorded](sim::SimTime at, const proto::Request& req) {
+          recorded.add_rich(at, req.client, req.interaction, req.key,
+                            req.priority);
         });
-  }
-
-  workload::RubbosWorkload replay_workload(e.config().workload);
-  std::unique_ptr<metrics::RequestLog> replay_log;
-  std::unique_ptr<workload::TraceReplayer> replayer;
-  if (replay) {
-    replay_log = std::make_unique<metrics::RequestLog>(
-        e.config().metric_window);
-    std::vector<proto::FrontEnd*> fes;
-    for (int a = 0; a < e.num_apaches(); ++a) fes.push_back(&e.apache(a));
-    replayer = std::make_unique<workload::TraceReplayer>(
-        e.simulation(), *trace, replay_workload, fes, *replay_log,
-        e.config().retransmit, e.config().link_latency);
-    replayer->start();
   }
 
   e.run();
 
-  const metrics::RequestLog& log = replay ? *replay_log : e.log();
+  const bool replay = e.replayer() != nullptr;
+  const metrics::RequestLog& log = e.log();
   auto summary = experiment::summarize(e);
-  if (replay) {
-    summary.completed = log.completed();
-    summary.mean_rt_ms = log.mean_response_ms();
-    summary.p50_ms = log.percentile_ms(50);
-    summary.p99_ms = log.percentile_ms(99);
-    summary.p999_ms = log.percentile_ms(99.9);
-    summary.vlrt_fraction = log.vlrt_fraction();
-    summary.normal_fraction = log.normal_fraction();
-    summary.dropped = replayer->dropped();
-    summary.balancer_errors = replayer->failed();
-    summary.connection_drops = replayer->connection_drops();
-  }
 
   if (!options.quiet) {
     experiment::print_table1_header(std::cout);
@@ -582,6 +638,14 @@ int run_cli(const CliOptions& options) {
     std::cout << "p99 " << summary.p99_ms << " ms, p99.9 " << summary.p999_ms
               << " ms, drops " << summary.connection_drops << ", 503s "
               << summary.balancer_errors << "\n";
+    if (replay) {
+      const auto* rp = e.replayer();
+      std::cout << "trace replay: " << summary.trace_arrivals << " arrivals, "
+                << rp->issued() << " issued, " << rp->completed_ok()
+                << " ok, " << rp->dropped() << " dropped, " << rp->abandoned()
+                << " abandoned, " << rp->in_flight()
+                << " in flight at horizon\n";
+    }
     if (e.chaos()) {
       std::cout << "\nfault schedule (applied/cleared):\n"
                 << e.chaos()->trace_string();
@@ -696,7 +760,7 @@ int run_cli(const CliOptions& options) {
                 << summary.rt_sketch_p999_ms << " ms (sketch)\n";
     }
   }
-  if (!options.record_trace_path.empty() && !replay) {
+  if (!options.record_trace_path.empty()) {
     std::ofstream f(options.record_trace_path);
     if (!f) {
       std::cerr << "cannot write " << options.record_trace_path << "\n";

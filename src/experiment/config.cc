@@ -96,6 +96,9 @@ std::string describe(const ExperimentConfig& c) {
        << c.overload.deadline_budget.to_string() << ")";
   if (c.workload.priority_mix == workload::PriorityMix::kRubbos)
     os << ", priorities=rubbos";
+  if (c.replay_trace)
+    os << ", replay(" << c.replay_trace->size() << " arrivals"
+       << (c.replay_trace->rich() ? ", rich" : "") << ")";
   return os.str();
 }
 

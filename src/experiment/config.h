@@ -22,6 +22,9 @@
 #include "sim/time.h"
 #include "workload/client.h"
 #include "workload/rubbos.h"
+#include "workload/trace.h"
+
+#include <memory>
 
 namespace ntier::experiment {
 
@@ -74,6 +77,15 @@ struct ExperimentConfig {
   sim::SimTime warmup = sim::SimTime::seconds(3);
   net::RetransmitSchedule retransmit;
   sim::SimTime link_latency = sim::SimTime::micros(100);
+  /// Open-loop trace replay: when set, a TraceReplayer drives the recorded
+  /// arrivals against the front-ends and the closed-loop population is idled
+  /// (normalized() leaves one client thinking past the horizon, so chaos
+  /// conservation checks still hold). Shared so sweep replicas reuse one
+  /// loaded trace instead of copying it per cell.
+  std::shared_ptr<const workload::ArrivalTrace> replay_trace;
+  /// Client-side patience during replay: unanswered requests older than this
+  /// are abandoned and logged as dropped (zero = wait forever).
+  sim::SimTime replay_client_timeout;
 
   // -- policy & mechanism under test -------------------------------------------
   lb::PolicyKind policy = lb::PolicyKind::kTotalRequest;
@@ -175,8 +187,11 @@ struct ExperimentConfig {
   /// sample. Requires online_detect (the detector supplies the marks).
   obs::TailConfig trace_tail;
 
-  /// Offered load in requests/second (clients / think time).
+  /// Offered load in requests/second: clients / think time for the closed
+  /// loop, trace arrivals / duration when replaying.
   double offered_rps() const {
+    if (replay_trace)
+      return static_cast<double>(replay_trace->size()) / duration.to_seconds();
     return static_cast<double>(num_clients) / think_mean.to_seconds();
   }
 

@@ -13,6 +13,13 @@ ExperimentConfig Experiment::normalized(ExperimentConfig config) {
   // their RNG streams stay byte-identical to pre-KV builds.
   if (config.db_tier == server::DbTier::kKv && config.workload.key_space == 0)
     config.workload.key_space = 10'000;
+  // Trace replay idles the closed loop: one client whose think time sits far
+  // past any run horizon, so the population still exists (the chaos harness
+  // quiesces it and reads its link/counters) but issues nothing.
+  if (config.replay_trace) {
+    config.num_clients = 1;
+    config.think_mean = sim::SimTime::seconds(1'000'000);
+  }
   return config;
 }
 
@@ -264,6 +271,19 @@ void Experiment::build() {
                                                           fes, log_);
   if (trace_) clients_->set_trace(trace_.get());
 
+  // -- trace replay -------------------------------------------------------------
+  if (config_.replay_trace) {
+    workload::ReplayParams rp;
+    rp.retransmit = config_.retransmit;
+    rp.link_latency = config_.link_latency;
+    rp.client_timeout = config_.replay_client_timeout;
+    rp.warmup = config_.warmup;
+    if (config_.overload.stamp_deadlines)
+      rp.deadline_budget = config_.overload.deadline_budget;
+    replayer_ = std::make_unique<workload::TraceReplayer>(
+        sim_, *config_.replay_trace, workload_, fes, log_, rp);
+  }
+
   // -- chaos -------------------------------------------------------------------
   if (!config_.fault_plan.empty()) {
     chaos_ = std::make_unique<ChaosController>(*this, config_.fault_plan);
@@ -336,6 +356,7 @@ void Experiment::run() {
   if (ran_) throw std::logic_error("Experiment::run called twice");
   ran_ = true;
   clients_->start();
+  if (replayer_) replayer_->start();
   sim_.run_until(config_.duration);
   for (auto& a : apaches_) {
     a->finish_traces();

@@ -23,6 +23,7 @@
 #include "sim/simulation.h"
 #include "workload/client.h"
 #include "workload/rubbos.h"
+#include "workload/trace.h"
 
 namespace ntier::experiment {
 
@@ -51,6 +52,9 @@ class Experiment {
   const workload::ClientPopulation& clients() const { return *clients_; }
   /// Mutable access for pre-run instrumentation (issue hooks etc.).
   workload::ClientPopulation& mutable_clients() { return *clients_; }
+  /// The open-loop trace replayer; null unless config.replay_trace is set.
+  const workload::TraceReplayer* replayer() const { return replayer_.get(); }
+  workload::TraceReplayer* replayer() { return replayer_.get(); }
 
   int num_apaches() const { return static_cast<int>(apaches_.size()); }
   int num_tomcats() const { return static_cast<int>(tomcats_.size()); }
@@ -183,6 +187,7 @@ class Experiment {
   std::vector<std::unique_ptr<server::ApacheServer>> apaches_;
   std::vector<std::unique_ptr<millib::CapacityStallInjector>> injectors_;
   std::unique_ptr<workload::ClientPopulation> clients_;
+  std::unique_ptr<workload::TraceReplayer> replayer_;
   std::unique_ptr<ChaosController> chaos_;
   std::unique_ptr<obs::TraceCollector> trace_;
   std::unique_ptr<obs::TelemetryRegistry> telemetry_;

@@ -21,6 +21,16 @@ RunSummary summarize(Experiment& e) {
   s.dropped = e.clients().dropped();
   s.balancer_errors = e.clients().failed();
   s.connection_drops = e.clients().connection_drops();
+  if (const auto* rp = e.replayer()) {
+    // Open-loop runs: the client-side counters live on the replayer (the
+    // closed-loop population is idled by normalized() and issues nothing).
+    s.open_loop = true;
+    s.trace_arrivals = cfg.replay_trace->size();
+    s.dropped = rp->dropped();
+    s.balancer_errors = rp->failed();
+    s.connection_drops = rp->connection_drops();
+    s.replay_abandoned = rp->abandoned();
+  }
   s.completed_within_deadline = log.completed_within_deadline();
   s.missed_deadline = log.missed_deadline();
   const double measured_s = (cfg.duration - cfg.warmup).to_seconds();
@@ -146,6 +156,9 @@ void RunSummary::to_json(std::ostream& os) const {
   field(os, "dropped", static_cast<double>(dropped));
   field(os, "balancer_errors", static_cast<double>(balancer_errors));
   field(os, "connection_drops", static_cast<double>(connection_drops));
+  field(os, "open_loop", open_loop ? 1.0 : 0.0);
+  field(os, "trace_arrivals", static_cast<double>(trace_arrivals));
+  field(os, "replay_abandoned", static_cast<double>(replay_abandoned));
   field(os, "goodput_rps", goodput_rps);
   field(os, "completed_within_deadline",
         static_cast<double>(completed_within_deadline));

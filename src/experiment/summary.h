@@ -22,6 +22,15 @@ struct RunSummary {
   std::uint64_t balancer_errors = 0;
   std::uint64_t connection_drops = 0;
 
+  // -- trace replay (all zero for closed-loop runs) ---------------------------
+  /// True when an open-loop TraceReplayer drove the run instead of the
+  /// closed-loop population.
+  bool open_loop = false;
+  /// Arrivals in the replayed trace (issued as far as the horizon allows).
+  std::uint64_t trace_arrivals = 0;
+  /// Replayed requests the client abandoned (replay_client_timeout elapsed).
+  std::uint64_t replay_abandoned = 0;
+
   // -- overload control (satellite: goodput + shed accounting) ---------------
   /// Completions that met their deadline (all completions when no deadlines
   /// were stamped), per second of measured (post-warmup) time.

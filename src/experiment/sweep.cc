@@ -99,6 +99,8 @@ void AggregateSummary::finalize() {
       stats([](const RunSummary& r) { return r.cache_invalidations; });
   cache_coalesced_fills =
       stats([](const RunSummary& r) { return r.cache_coalesced_fills; });
+  replay_abandoned =
+      stats([](const RunSummary& r) { return r.replay_abandoned; });
 }
 
 std::string AggregateSummary::merged_rt_sketch() const {
@@ -180,7 +182,8 @@ void AggregateSummary::to_json(std::ostream& os) const {
   json_stats(os, "cache_hits", cache_hits);
   json_stats(os, "cache_misses", cache_misses);
   json_stats(os, "cache_invalidations", cache_invalidations);
-  json_stats(os, "cache_coalesced_fills", cache_coalesced_fills,
+  json_stats(os, "cache_coalesced_fills", cache_coalesced_fills);
+  json_stats(os, "replay_abandoned", replay_abandoned,
              /*comma=*/false);
   os << "  },\n";
   os << "  \"pooled\": {\"completed\": " << pooled.count()
@@ -245,6 +248,7 @@ void AggregateSummary::to_csv(std::ostream& os) const {
   row("cache_misses", cache_misses);
   row("cache_invalidations", cache_invalidations);
   row("cache_coalesced_fills", cache_coalesced_fills);
+  row("replay_abandoned", replay_abandoned);
 }
 
 void AggregateSummary::per_run_csv(std::ostream& os) const {
@@ -256,7 +260,7 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
         "kv_degraded_ms,online_episodes,online_false_positives,"
         "online_median_detection_ms,trace_kept_fraction,"
         "cache_hits,cache_misses,cache_invalidations,"
-        "cache_coalesced_fills\n";
+        "cache_coalesced_fills,replay_abandoned\n";
   for (std::size_t i = 0; i < per_run.size(); ++i) {
     const RunSummary& r = per_run[i];
     os << i << ',' << (i < run_seeds.size() ? run_seeds[i] : 0) << ','
@@ -272,7 +276,8 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
        << r.online_episodes << ',' << r.online_false_positives << ','
        << r.online_median_detection_ms << ',' << r.trace_kept_fraction << ','
        << r.cache_hits << ',' << r.cache_misses << ','
-       << r.cache_invalidations << ',' << r.cache_coalesced_fills << '\n';
+       << r.cache_invalidations << ',' << r.cache_coalesced_fills << ','
+       << r.replay_abandoned << '\n';
   }
 }
 

@@ -75,6 +75,8 @@ struct AggregateSummary {
   // Cache tier (zero across the board when no cache tier was configured).
   MetricStats cache_hits, cache_misses, cache_invalidations,
       cache_coalesced_fills;
+  // Open-loop trace replay (zero across the board for closed-loop sweeps).
+  MetricStats replay_abandoned;
 
   /// Every replica's client.rt_ms DDSketch merged in run-index order;
   /// empty string when no run carried a sketch. Because merging ordered

@@ -26,7 +26,10 @@ enum class ShedReason : std::uint8_t {
 struct Request {
   std::uint64_t id = 0;
   std::uint16_t interaction = 0;  // index into the workload interaction table
-  std::uint16_t client = 0;       // originating client (for think-loop bookkeeping)
+  /// Originating client (think-loop bookkeeping). 32-bit so replayed
+  /// production traces can carry a day's worth of distinct users, not just a
+  /// closed-loop population's slots.
+  std::uint32_t client = 0;
 
   // -- service demands ------------------------------------------------------
   sim::SimTime apache_demand;       // front-end CPU (parse, static, proxying)

@@ -63,7 +63,7 @@ void ClientPopulation::issue(std::uint16_t client) {
   if (!routes_.empty())
     req->session_route = routes_[client % routes_.size()];
   ++issued_;
-  if (issue_hook_) issue_hook_(sim_.now(), client, req->interaction);
+  if (issue_hook_) issue_hook_(sim_.now(), *req);
   NTIER_TRACE_EVENT(trace_events_, sim_.now(), obs::EventKind::kClientSend,
                     obs::Tier::kClient, req->apache_id, client, req->id, 0.0,
                     req->interaction);

@@ -74,10 +74,10 @@ class ClientPopulation {
   net::Link& link() { return link_; }
 
   /// Observation hook fired at every issued request (arrival-trace
-  /// recording); set before start().
+  /// recording); set before start(). Sees the fully-materialised request so
+  /// recorders can capture the data key and priority class too.
   using IssueHook =
-      std::function<void(sim::SimTime at, std::uint16_t client,
-                         std::uint16_t interaction)>;
+      std::function<void(sim::SimTime at, const proto::Request& req)>;
   void set_issue_hook(IssueHook hook) { issue_hook_ = std::move(hook); }
 
   /// Attach the cross-tier event collector (null disables). Emits

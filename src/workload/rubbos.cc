@@ -152,13 +152,13 @@ std::size_t RubbosWorkload::next_interaction(sim::Rng& rng, int prev) const {
 }
 
 proto::RequestPtr RubbosWorkload::make_request(sim::Rng& rng, std::uint64_t id,
-                                               std::uint16_t client,
+                                               std::uint32_t client,
                                                int prev_interaction) const {
   return materialize(rng, id, client, next_interaction(rng, prev_interaction));
 }
 
 proto::RequestPtr RubbosWorkload::materialize(sim::Rng& rng, std::uint64_t id,
-                                              std::uint16_t client,
+                                              std::uint32_t client,
                                               std::size_t k) const {
   const InteractionType& it = table_.at(k);
   auto req = std::make_shared<proto::Request>();

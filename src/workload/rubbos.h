@@ -92,7 +92,7 @@ class RubbosWorkload {
   /// request with sampled demands. `prev_interaction` (-1 = none) drives the
   /// Markov session model when enabled.
   proto::RequestPtr make_request(sim::Rng& rng, std::uint64_t id,
-                                 std::uint16_t client,
+                                 std::uint32_t client,
                                  int prev_interaction = -1) const;
 
   /// The Markov step by itself: the next interaction index after `prev`
@@ -102,7 +102,7 @@ class RubbosWorkload {
   /// Materialise a request of a *given* interaction type (trace replay):
   /// demands are sampled, the type is forced.
   proto::RequestPtr materialize(sim::Rng& rng, std::uint64_t id,
-                                std::uint16_t client,
+                                std::uint32_t client,
                                 std::size_t interaction) const;
 
   /// Successor set of an interaction under the session model (indices into

@@ -337,12 +337,119 @@ TEST(Cli, RunCliSmoke) {
 }
 
 TEST(Cli, TraceFlags) {
-  const auto r = parse({"--record-trace", "/tmp/a.csv", "--replay-trace",
-                        "/tmp/b.csv"});
-  ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.options->record_trace_path, "/tmp/a.csv");
-  EXPECT_EQ(r.options->replay_trace_path, "/tmp/b.csv");
+  const auto rec = parse({"--record-trace", "/tmp/a.csv"});
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.options->record_trace_path, "/tmp/a.csv");
+  const auto rep = parse({"--replay-trace", "/tmp/b.csv"});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.options->replay_trace_path, "/tmp/b.csv");
   EXPECT_FALSE(parse({"--record-trace"}).ok());
+  // Recording while replaying is rejected: the closed loop is idle during
+  // replay, so there is nothing new to record.
+  const auto both = parse({"--record-trace", "/tmp/a.csv", "--replay-trace",
+                           "/tmp/b.csv"});
+  ASSERT_FALSE(both.ok());
+  EXPECT_NE(both.error.find("cannot be combined with a replay source"),
+            std::string::npos)
+      << both.error;
+}
+
+TEST(Cli, ParseDoubleIsStrict) {
+  // from_chars semantics: no trailing garbage, no locale surprises.
+  EXPECT_FALSE(parse({"--duration-s", "12abc"}).ok());
+  EXPECT_FALSE(parse({"--duration-s", "1,5"}).ok());
+  EXPECT_FALSE(parse({"--duration-s", ""}).ok());
+  EXPECT_FALSE(parse({"--duration-s", "nan"}).ok());
+  EXPECT_FALSE(parse({"--think-ms", "1e"}).ok());
+  const auto ok = parse({"--duration-s", "1.5e1"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.options->config.duration, sim::SimTime::from_seconds(15));
+}
+
+TEST(Cli, TraceGenFlagsParse) {
+  const auto r = parse({"--trace-gen", "duration=30,base-rps=500",
+                        "--trace-out", "/tmp/day.csv"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->trace_gen_spec, "duration=30,base-rps=500");
+  EXPECT_EQ(r.options->trace_out_path, "/tmp/day.csv");
+}
+
+TEST(Cli, RejectsBadTraceGenSpecAtParseTime) {
+  const auto r = parse({"--trace-gen", "frobnicate=1"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("bad --trace-gen"), std::string::npos) << r.error;
+  EXPECT_FALSE(parse({"--trace-gen", "duration=0"}).ok());
+  EXPECT_FALSE(parse({"--trace-gen"}).ok());
+}
+
+TEST(Cli, TraceReplayAliasAndKnobs) {
+  const auto r = parse({"--trace-replay", "/tmp/day.csv",
+                        "--replay-timeout-ms", "8000", "--replay-scale",
+                        "0.5"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->replay_trace_path, "/tmp/day.csv");
+  EXPECT_DOUBLE_EQ(r.options->replay_timeout_ms, 8000.0);
+  EXPECT_DOUBLE_EQ(r.options->replay_scale, 0.5);
+  EXPECT_FALSE(parse({"--replay-timeout-ms", "0", "--trace-replay",
+                      "/tmp/d.csv"}).ok());
+  EXPECT_FALSE(parse({"--replay-scale", "-1", "--trace-replay",
+                      "/tmp/d.csv"}).ok());
+}
+
+TEST(Cli, ReplayKnobsRequireAReplaySource) {
+  for (auto args : {std::vector<std::string>{"--replay-timeout-ms", "1000"},
+                    std::vector<std::string>{"--replay-scale", "2"}}) {
+    const auto r = parse_cli(args);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("require --replay-trace or --trace-gen"),
+              std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Cli, RejectsConflictingTraceSources) {
+  const auto both = parse({"--trace-gen", "duration=10", "--replay-trace",
+                           "/tmp/d.csv"});
+  ASSERT_FALSE(both.ok());
+  EXPECT_NE(both.error.find("both name a replay source"), std::string::npos)
+      << both.error;
+  const auto out = parse({"--trace-out", "/tmp/d.csv"});
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error.find("--trace-out requires --trace-gen"),
+            std::string::npos)
+      << out.error;
+  const auto rec = parse({"--record-trace", "/tmp/a.csv", "--trace-gen",
+                          "duration=10"});
+  ASSERT_FALSE(rec.ok());
+  EXPECT_NE(rec.error.find("cannot be combined with a replay source"),
+            std::string::npos)
+      << rec.error;
+}
+
+TEST(Cli, TraceGenToFileThenReplayRoundTrip) {
+  const std::string path = "/tmp/ntier_cli_trace_gen_day.csv";
+  auto gen = parse({"--quiet", "--trace-gen",
+                    "seed=7,duration=2,base-rps=200,session-mean=2",
+                    "--trace-out", path});
+  ASSERT_TRUE(gen.ok()) << gen.error;
+  ASSERT_EQ(run_cli(*gen.options), 0);
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  auto rep = parse({"--duration-s", "3", "--quiet", "--no-millibottlenecks",
+                    "--replay-trace", path, "--replay-timeout-ms", "2000"});
+  ASSERT_TRUE(rep.ok()) << rep.error;
+  EXPECT_EQ(run_cli(*rep.options), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, UsageMentionsTraceWorkloadFlags) {
+  const auto u = usage_text();
+  for (const char* needle :
+       {"--trace-gen", "--trace-out", "--replay-trace", "--trace-replay",
+        "--replay-timeout-ms", "--replay-scale",
+        "at_ns,client,interaction[,key,priority]"}) {
+    EXPECT_NE(u.find(needle), std::string::npos) << needle;
+  }
 }
 
 TEST(Cli, ObservabilityFlags) {
@@ -395,11 +502,12 @@ TEST(Cli, SweepFlags) {
   EXPECT_EQ(r.options->jobs, 4);
   EXPECT_FALSE(parse({"--sweep-seeds", "0"}).ok());
   EXPECT_FALSE(parse({"--jobs", "-1"}).ok());
-  // Per-run trace artifacts make no sense for an aggregate sweep.
+  // Per-run trace artifacts make no sense for an aggregate sweep...
   EXPECT_FALSE(parse({"--sweep-seeds", "2", "--trace", "/tmp/t.jsonl"}).ok());
   EXPECT_FALSE(
       parse({"--sweep-seeds", "2", "--record-trace", "/tmp/t.csv"}).ok());
-  EXPECT_FALSE(
+  // ...but replaying one trace across seed-forked replicas is fine.
+  EXPECT_TRUE(
       parse({"--sweep-seeds", "2", "--replay-trace", "/tmp/t.csv"}).ok());
 }
 
