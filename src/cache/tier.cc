@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/rng.h"
+
 namespace ntier::cache {
 
 CacheTier::CacheTier(sim::Simulation& simu, std::vector<os::Node*> nodes,
@@ -37,7 +39,7 @@ void CacheTier::read(int node, const proto::RequestPtr& req,
         NTIER_TRACE_EVENT(trace_, sim_.now(), obs::EventKind::kCacheMiss,
                           obs::Tier::kCache, node, -1, req->id,
                           static_cast<double>(s.store.size()));
-        if (config_.coalesce) {
+        if (config_.coalesce || refill_gate_) {
           const auto it = s.fills.find(req->key);
           if (it != s.fills.end()) {
             // Single flight: join the in-flight fill instead of issuing a
@@ -58,25 +60,38 @@ void CacheTier::read(int node, const proto::RequestPtr& req,
       });
 }
 
+void CacheTier::set_refill_gate(bool on, sim::SimTime window) {
+  refill_gate_ = on;
+  if (window > sim::SimTime()) refill_gate_window_ = window;
+}
+
 void CacheTier::start_fill(int node, const proto::RequestPtr& req,
                            sim::SimTime demand, DoneFn done) {
   ++stats_.fills_started;
   auto& ns = nodes_[static_cast<std::size_t>(node)];
-  if (config_.coalesce) {
+  // The gate imposes *emergency single-flight* on top of the stagger: a
+  // stampede's duplicate fills are the load the orchestrator is trying to
+  // shed, so while gated every concurrent miss for a key joins one quorum
+  // fetch even when the config left coalescing off. Latched per fill so a
+  // mid-flight gate toggle cannot orphan or double-complete waiters.
+  const bool coalesced = config_.coalesce || refill_gate_;
+  if (coalesced) {
     ns.fills[req->key].push_back([this, done = std::move(done)](bool ok) {
       --ops_in_flight_;
       done(ok);
     });
   }
-  kv_->read(req, demand, [this, node, req,
-                          done = std::move(done)](bool ok) mutable {
+  auto issue = [this, node, req, demand, coalesced,
+                done = std::move(done)]() mutable {
+    kv_->read(req, demand, [this, node, req, coalesced,
+                            done = std::move(done)](bool ok) mutable {
     auto& s = nodes_[static_cast<std::size_t>(node)];
     // The fetched value is installed (or the failure surfaced) only after
     // the fill demand runs on the cache node, so queueing there is part of
     // every waiter's latency.
     s.node->cpu().submit(
         config_.fill_demand,
-        [this, node, req, ok, done = std::move(done)]() mutable {
+        [this, node, req, ok, coalesced, done = std::move(done)]() mutable {
           auto& t = nodes_[static_cast<std::size_t>(node)];
           if (ok) {
             ++stats_.fills_completed;
@@ -85,7 +100,7 @@ void CacheTier::start_fill(int node, const proto::RequestPtr& req,
           } else {
             ++stats_.fill_failures;
           }
-          if (config_.coalesce) {
+          if (coalesced) {
             const auto it = t.fills.find(req->key);
             if (it != t.fills.end()) {
               auto waiters = std::move(it->second);
@@ -97,7 +112,19 @@ void CacheTier::start_fill(int node, const proto::RequestPtr& req,
             done(ok);
           }
         });
-  });
+    });
+  };
+  if (refill_gate_) {
+    ++stats_.gated_fills;
+    // Deterministic per-key stagger: same key -> same offset, every run.
+    const double frac =
+        static_cast<double>(sim::Rng::mix64(req->key) % 1024) / 1024.0;
+    sim_.after(
+        sim::SimTime::from_seconds(refill_gate_window_.to_seconds() * frac),
+        std::move(issue));
+  } else {
+    issue();
+  }
 }
 
 void CacheTier::write(int node, const proto::RequestPtr& req,

@@ -45,6 +45,8 @@ struct CacheStats {
   std::uint64_t invalidations_dropped = 0;  // bounded queue overflowed
   std::uint64_t storms = 0;       // invalidation-storm faults applied
   std::uint64_t storm_ticks = 0;  // hot-key sweep rounds across all storms
+  /// Fills whose backing fetch was deferred by the recovery refill gate.
+  std::uint64_t gated_fills = 0;
 
   double hit_ratio() const {
     return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
@@ -98,6 +100,17 @@ class CacheTier {
 
   void set_trace(obs::TraceCollector* t) { trace_ = t; }
 
+  /// Recovery intervention: while on, every fill's backing fetch is delayed
+  /// by a deterministic per-key jitter in [0, window) so a post-fault miss
+  /// burst refills the store staggered instead of stampeding the quorum,
+  /// and single-flight coalescing is imposed even when the config left it
+  /// off — the waiters that pile up during the jitter join one fetch. The
+  /// coalescing decision is latched per fill, so toggling the gate while
+  /// fills are in flight is safe.
+  void set_refill_gate(bool on,
+                       sim::SimTime window = sim::SimTime::millis(40));
+  bool refill_gate() const { return refill_gate_; }
+
   // -- topology ---------------------------------------------------------------
   const CacheConfig& config() const { return config_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -143,6 +156,9 @@ class CacheTier {
 
   mutable CacheStats stats_;
   std::uint64_t ops_in_flight_ = 0;
+
+  bool refill_gate_ = false;
+  sim::SimTime refill_gate_window_ = sim::SimTime::millis(40);
 
   bool storm_active_ = false;
   sim::SimTime storm_end_;

@@ -169,6 +169,16 @@ fault injection & resilience
                          link faults, pool leaks, disk degradation, stalls)
   --chaos-seed N         fault-schedule seed (implies --chaos, default 1)
   --resilience           health probing + circuit breaker + budgeted retries
+  --gray-fault K         data_path | link | replica — schedule one seeded
+                         gray fault: the data path degrades while health
+                         probes, the circuit breaker and piggybacked load
+                         reports keep seeing a healthy node (replica
+                         requires --db-tier kv; composes with --chaos)
+  --recovery MODE        on | off (default) — recovery orchestration:
+                         declare sustained-degradation episodes against the
+                         run's own baseline and apply staged interventions
+                         (retry suppression, hard shedding, cache refill
+                         gating, breaker reset at step-down)
 
 overload control
   --overload MODE        none | deadline | admission | codel | full —
@@ -385,6 +395,20 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       o.chaos_seed = static_cast<std::uint64_t>(n);
     } else if (a == "--resilience") {
       o.resilience = true;
+    } else if (a == "--gray-fault") {
+      if (!value(v)) return fail("missing --gray-fault value");
+      if (v != "data_path" && v != "link" && v != "replica")
+        return fail("unknown gray fault: " + v +
+                    " (expected data_path|link|replica)");
+      o.gray_fault = v;
+    } else if (a == "--recovery") {
+      if (!value(v)) return fail("missing --recovery value");
+      if (v == "on")
+        o.config.recovery.enabled = true;
+      else if (v == "off")
+        o.config.recovery.enabled = false;
+      else
+        return fail("bad --recovery: " + v + " (expected on|off)");
     } else if (a == "--overload") {
       if (!value(v)) return fail("missing --overload value");
       if (!control::parse_overload_mode(v, &overload_mode))
@@ -493,6 +517,10 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
         "--trace-sample tail requires --detect (the detector marks the "
         "episode windows worth keeping) and --trace FILE (the sampled "
         "output)");
+  if (o.gray_fault == "replica" && o.config.db_tier != server::DbTier::kKv)
+    return fail(
+        "--gray-fault replica requires --db-tier kv (the slow-but-alive "
+        "replica lives in the KV quorum)");
   if (o.config.db_tier != server::DbTier::kKv &&
       (kv_config_set || zipf_set || key_space_set ||
        o.config.kv_millibottlenecks))
@@ -606,6 +634,28 @@ int run_cli(const CliOptions& options) {
         millib::FaultPlan::randomized(options.chaos_seed, fc, cfg.num_tomcats));
     cfg.label += "_chaos";
   }
+  if (!options.gray_fault.empty()) {
+    // One deterministic gray fault, scaled to the measured part of the run:
+    // it opens a quarter of the way in and lasts a tenth of the span, so the
+    // pre-trigger baseline and the post-clear basin are both observable.
+    const double span = (cfg.duration - cfg.warmup).to_seconds();
+    millib::FaultSpec spec;
+    spec.worker = 0;
+    spec.start = cfg.warmup + sim::SimTime::from_seconds(span * 0.25);
+    spec.duration = sim::SimTime::from_seconds(span * 0.10);
+    spec.severity = 0.9;
+    if (options.gray_fault == "data_path") {
+      spec.kind = millib::FaultKind::kGrayDataPath;
+    } else if (options.gray_fault == "link") {
+      spec.kind = millib::FaultKind::kGrayLink;
+      spec.extra_latency = sim::SimTime::millis(5);
+      spec.loss_probability = 0.3;
+    } else {
+      spec.kind = millib::FaultKind::kGraySlowReplica;
+    }
+    cfg.fault_plan.merge(millib::FaultPlan::single(spec));
+    cfg.label += "_gray";
+  }
 
   if (options.sweep_seeds > 0) return run_sweep(options, std::move(cfg));
 
@@ -663,6 +713,14 @@ int run_cli(const CliOptions& options) {
       std::cout << "resilience: " << probes << " probes (" << timeouts
                 << " timed out), " << trips << " breaker trips, " << retries
                 << " retries\n";
+    }
+    if (!options.gray_fault.empty()) {
+      std::cout << "gray fault (" << options.gray_fault << "): "
+                << summary.gray_inflated_ops << " gray-inflated ops, "
+                << summary.kv_slow_ops << " slow-replica ops\n";
+    }
+    if (e.recovery()) {
+      std::cout << "recovery: " << e.recovery()->stats().to_string() << "\n";
     }
     if (e.config().overload.any()) {
       std::cout << "overload control: goodput " << summary.goodput_rps

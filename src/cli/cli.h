@@ -25,6 +25,7 @@ struct CliOptions {
   bool chaos = false;             // inject a seeded randomized fault schedule
   std::uint64_t chaos_seed = 1;
   bool resilience = false;        // prober + breaker + budgeted retries
+  std::string gray_fault;         // "" | data_path | link | replica
   int sweep_seeds = 0;     // > 0: run that many seed-forked replicas
   int jobs = 1;            // sweep worker threads (output is jobs-invariant)
   bool quiet = false;      // suppress the human-readable report

@@ -99,16 +99,19 @@ struct OverloadStats {
   std::uint64_t brownout_sheds = 0;
   std::uint64_t deadline_sheds = 0;
   std::uint64_t sojourn_sheds = 0;
+  std::uint64_t recovery_sheds = 0;  // recovery orchestrator hard shedding
   double wasted_work_avoided_ms = 0.0;
 
   std::uint64_t total_sheds() const {
-    return admission_sheds + brownout_sheds + deadline_sheds + sojourn_sheds;
+    return admission_sheds + brownout_sheds + deadline_sheds + sojourn_sheds +
+           recovery_sheds;
   }
   OverloadStats& operator+=(const OverloadStats& o) {
     admission_sheds += o.admission_sheds;
     brownout_sheds += o.brownout_sheds;
     deadline_sheds += o.deadline_sheds;
     sojourn_sheds += o.sojourn_sheds;
+    recovery_sheds += o.recovery_sheds;
     wasted_work_avoided_ms += o.wasted_work_avoided_ms;
     return *this;
   }

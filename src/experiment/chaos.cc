@@ -108,6 +108,28 @@ void ChaosController::apply(std::size_t i) {
       cache->begin_invalidation_storm(spec.duration, spec.severity);
       break;
     }
+    case millib::FaultKind::kGrayDataPath:
+      // Differential observability: service demand inflates but the probe
+      // path and the piggybacked load reports keep answering from the
+      // frozen pre-fault snapshot.
+      exp_.tomcat(target_worker(spec)).set_gray_degraded(spec.severity);
+      break;
+    case millib::FaultKind::kGrayLink:
+      // Partial fault on ONE Apache's backend link (worker selects the
+      // Apache): requests through that balancer see loss + latency while
+      // its siblings — and the health prober's verdicts — stay clean.
+      exp_.apache(spec.worker < 0 ? 0 : spec.worker % exp_.num_apaches())
+          .tomcat_link()
+          .set_fault(spec.extra_latency, spec.loss_probability);
+      break;
+    case millib::FaultKind::kGraySlowReplica: {
+      auto* kv = exp_.kv_tier();
+      if (!kv) break;  // MySQL-tier run: nothing to slow.
+      const int r =
+          spec.worker < 0 ? 0 : spec.worker % exp_.num_kv_replicas();
+      kv->replica(r).set_slow(spec.severity);
+      break;
+    }
   }
   events_[i].applied = sim.now();
   ++applied_;
@@ -165,6 +187,19 @@ void ChaosController::clear(std::size_t i) {
       // The storm's own tick loop stops itself at spec.end(); this call is
       // an idempotent backstop.
       if (auto* cache = exp_.cache_tier()) cache->end_invalidation_storm();
+      break;
+    case millib::FaultKind::kGrayDataPath:
+      exp_.tomcat(target_worker(spec)).clear_gray_degraded();
+      break;
+    case millib::FaultKind::kGrayLink:
+      exp_.apache(spec.worker < 0 ? 0 : spec.worker % exp_.num_apaches())
+          .tomcat_link()
+          .clear_fault();
+      break;
+    case millib::FaultKind::kGraySlowReplica:
+      if (auto* kv = exp_.kv_tier())
+        kv->replica(spec.worker < 0 ? 0 : spec.worker % exp_.num_kv_replicas())
+            .clear_slow();
       break;
   }
   events_[i].cleared = sim.now();
@@ -333,6 +368,84 @@ std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt) {
       c.tracing = false;
       c.fault_plan = plan;
       if (opt.resilience) c.enable_resilience();
+      if (opt.overload != control::OverloadMode::kNone)
+        c.overload = control::make_overload(opt.overload);
+      results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));
+    }
+  }
+  return results;
+}
+
+millib::FaultPlan gray_matrix_plan(const ChaosMatrixOptions& opt) {
+  // Hand-written: every fault is gray (the data path degrades while the
+  // probe path stays healthy), and the second data-path fault overlaps the
+  // link fault so two simultaneous gray faults are exercised. Targets are
+  // seeded so different seeds stress different workers.
+  const auto at = [&](double frac) {
+    return sim::SimTime::from_seconds(opt.traffic.to_seconds() * frac);
+  };
+  const int fleet = std::max(1, opt.num_tomcats);
+  const int t1 = static_cast<int>(sim::Rng::mix64(opt.chaos_seed) %
+                                  static_cast<std::uint64_t>(fleet));
+  const int t2 = (t1 + 1) % fleet;
+
+  millib::FaultPlan plan;
+  millib::FaultSpec gray1;
+  gray1.kind = millib::FaultKind::kGrayDataPath;
+  gray1.worker = t1;
+  gray1.start = at(0.15);
+  gray1.duration = at(0.35) - at(0.15);
+  gray1.severity = 0.9;
+  plan.specs.push_back(gray1);
+
+  millib::FaultSpec link;
+  link.kind = millib::FaultKind::kGrayLink;
+  link.worker = 0;  // Apache index for this kind
+  link.start = at(0.45);
+  link.duration = at(0.70) - at(0.45);
+  link.extra_latency = sim::SimTime::millis(5);
+  link.loss_probability = 0.3;
+  plan.specs.push_back(link);
+
+  millib::FaultSpec gray2;
+  gray2.kind = millib::FaultKind::kGrayDataPath;
+  gray2.worker = t2;
+  gray2.start = at(0.55);
+  gray2.duration = at(0.75) - at(0.55);
+  gray2.severity = 0.8;
+  plan.specs.push_back(gray2);
+  return plan;
+}
+
+std::vector<ChaosRunResult> run_gray_chaos_matrix(
+    const ChaosMatrixOptions& opt) {
+  static constexpr lb::PolicyKind kPolicies[] = {
+      lb::PolicyKind::kTotalRequest, lb::PolicyKind::kCurrentLoad,
+      lb::PolicyKind::kRoundRobin, lb::PolicyKind::kTwoChoices};
+  static constexpr lb::MechanismKind kMechanisms[] = {
+      lb::MechanismKind::kBlocking, lb::MechanismKind::kNonBlocking};
+
+  const millib::FaultPlan plan = gray_matrix_plan(opt);
+  std::vector<ChaosRunResult> results;
+  for (auto policy : kPolicies) {
+    for (auto mechanism : kMechanisms) {
+      ExperimentConfig c;
+      c.label = "gray-chaos/" + lb::to_string(policy) + "/" +
+                lb::to_string(mechanism);
+      c.num_apaches = opt.num_apaches;
+      c.num_tomcats = opt.num_tomcats;
+      c.num_clients = opt.num_clients;
+      c.think_mean = opt.think_mean;
+      c.warmup = sim::SimTime::millis(500);
+      c.policy = policy;
+      c.mechanism = mechanism;
+      // Organic millibottlenecks off: every disturbance comes from the plan,
+      // so a violated invariant is attributable.
+      c.tomcat_millibottlenecks = false;
+      c.tracing = false;
+      c.fault_plan = plan;
+      if (opt.resilience) c.enable_resilience();
+      if (opt.recovery) c.recovery.enabled = true;
       if (opt.overload != control::OverloadMode::kNone)
         c.overload = control::make_overload(opt.overload);
       results.push_back(run_chaos(std::move(c), opt.traffic, opt.drain));

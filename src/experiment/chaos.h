@@ -27,6 +27,9 @@ namespace ntier::experiment {
 ///   kReplicaCrash   -> KvTier::on_replica_crashed/on_replica_recovered
 ///   kShardMigration -> KvTier::begin_migration/complete_migration
 ///   kInvalidationStorm -> CacheTier::begin_invalidation_storm
+///   kGrayDataPath   -> TomcatServer::set_gray_degraded (probe path healthy)
+///   kGrayLink       -> one Apache's tomcat_link().set_fault (worker = Apache)
+///   kGraySlowReplica -> KvReplica::set_slow (alive, never trips the detector)
 /// The KV kinds are no-ops when the experiment runs the MySQL data tier;
 /// the storm kind is a no-op when no cache tier is configured.
 class ChaosController {
@@ -172,6 +175,11 @@ struct ChaosMatrixOptions {
   std::uint64_t chaos_seed = 1;
   /// Turn on prober + breaker + budgeted retries in every cell.
   bool resilience = false;
+  /// Run every cell with the recovery orchestration layer active; the
+  /// safety invariants must survive its interventions (suppressed retries
+  /// and recovery 503s are answered, never lost, and step-down breaker
+  /// resets may not leak pool slots).
+  bool recovery = false;
   /// Overload control applied in every cell (kNone = seed behaviour). The
   /// safety invariants must survive deadline/admission/CoDel shedding on
   /// top of the fault schedule — sheds are answered, never lost.
@@ -191,6 +199,19 @@ millib::FaultPlan matrix_plan(const ChaosMatrixOptions& opt);
 /// Run the seeded fault schedule against every policy (7) x mechanism (3)
 /// combination — 21 cells, same plan in each — and return per-cell results.
 std::vector<ChaosRunResult> run_chaos_matrix(const ChaosMatrixOptions& opt);
+
+/// Hand-written gray-failure schedule over the matrix testbed: one gray
+/// data-path fault, one gray link fault on one Apache, and a second gray
+/// data-path fault overlapping the link fault — all differential-
+/// observability (the prober, breaker and piggybacked reports keep seeing
+/// healthy nodes), all cleared before traffic ends.
+millib::FaultPlan gray_matrix_plan(const ChaosMatrixOptions& opt);
+
+/// Run the gray-failure schedule against a policy x mechanism slice of the
+/// matrix (resilience/recovery per the options — the interesting cells are
+/// resilience-on, where every detector is being evaded, and recovery-on,
+/// where the orchestrator must catch what the breaker cannot).
+std::vector<ChaosRunResult> run_gray_chaos_matrix(const ChaosMatrixOptions& opt);
 
 /// One cell-sized configuration of the KV chaos matrix: same testbed shape
 /// as ChaosMatrixOptions, but the data tier is the replicated KV store and

@@ -91,6 +91,9 @@ std::string describe(const ExperimentConfig& c) {
        << c.probe.d << " stale=" << c.probe.staleness.to_string() << ")";
   if (!c.fault_plan.empty())
     os << ", chaos(" << c.fault_plan.size() << " faults)";
+  if (c.recovery.enabled)
+    os << ", recovery(degrade=" << c.recovery.degrade_ratio
+       << "x, tick=" << c.recovery.tick.to_string() << ")";
   if (c.overload.any())
     os << ", overload=" << control::to_string(c.overload.mode) << "(budget="
        << c.overload.deadline_budget.to_string() << ")";

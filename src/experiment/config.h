@@ -15,6 +15,7 @@
 #include "net/retransmit.h"
 #include "obs/telemetry.h"
 #include "os/node.h"
+#include "recovery/orchestrator.h"
 #include "server/apache_server.h"
 #include "server/db_router.h"
 #include "server/mysql_server.h"
@@ -107,6 +108,14 @@ struct ExperimentConfig {
   /// deadlines whenever `overload.stamp_deadlines` is on (so baseline cells
   /// can report comparable goodput without enforcing anything).
   control::OverloadConfig overload;
+  /// Recovery orchestration (src/recovery): declares sustained-degradation
+  /// episodes from the live completion stream and applies staged
+  /// interventions — retry suppression, temporary hard shedding, cache
+  /// refill gating, breaker reset at step-down. Rides the event bus, so
+  /// Experiment::build() spins up a ring-less collector when nothing else
+  /// needs one (and the loop is inert under -DNTIER_OBS_DISABLED, like
+  /// telemetry and online detection).
+  recovery::RecoveryConfig recovery;
 
   // -- servers ------------------------------------------------------------------
   server::ApacheConfig apache;

@@ -55,7 +55,9 @@ void Experiment::build() {
   // Telemetry and online detection ride the event stream, so the collector
   // exists whenever any consumer does; without event_trace it runs ring-less
   // (pure event bus, no retention).
-  const bool obs_consumers = config_.telemetry.enabled || config_.online_detect;
+  const bool obs_consumers = config_.telemetry.enabled ||
+                             config_.online_detect ||
+                             config_.recovery.enabled;
 #else
   // Compiled out: no events are ever emitted, so the new consumers would sit
   // on a silent bus — don't build them (zero instruments, zero overhead).
@@ -251,6 +253,57 @@ void Experiment::build() {
   }
   if (trace_)
     for (auto& t : tomcats_) t->set_trace(trace_.get());
+
+  // -- recovery orchestration ---------------------------------------------------
+#ifndef NTIER_OBS_DISABLED
+  if (config_.recovery.enabled && trace_) {
+    recovery::RecoverySignals sig;
+    sig.queue_depth = [this] {
+      double q = 0;
+      for (auto& a : apaches_) {
+        auto& lb = a->balancer();
+        for (int w = 0; w < lb.num_workers(); ++w)
+          q += static_cast<double>(lb.record(w).committed);
+      }
+      return q;
+    };
+    sig.retries = [this] {
+      std::uint64_t r = 0;
+      for (auto& a : apaches_) r += a->retries();
+      return r;
+    };
+    sig.first_attempts = [this] {
+      std::uint64_t r = 0;
+      for (auto& a : apaches_) r += a->first_attempts();
+      return r;
+    };
+    recovery::RecoveryActions act;
+    act.suppress_retries = [this](bool on) {
+      for (auto& a : apaches_) a->set_retry_suppressed(on);
+    };
+    act.hard_shed = [this](bool on) {
+      for (auto& a : apaches_) a->set_recovery_shed(on);
+    };
+    if (cache_tier_) {
+      act.gate_refills = [this](bool on) {
+        cache_tier_->set_refill_gate(on);
+      };
+    }
+    act.reset_breakers = [this] {
+      int n = 0;
+      for (auto& a : apaches_) n += a->balancer().reset_breakers();
+      return n;
+    };
+    // The recovery baseline must describe the post-warmup steady state.
+    recovery::RecoveryConfig rc = config_.recovery;
+    rc.warmup = std::max(rc.warmup, config_.warmup);
+    recovery_ = std::make_unique<recovery::RecoveryOrchestrator>(
+        sim_, rc, std::move(sig), std::move(act));
+    recovery_->set_trace(trace_.get());
+    trace_->add_sink(recovery_.get());
+    recovery_->start();
+  }
+#endif
 
   // -- clients -----------------------------------------------------------------
   workload::ClientParams cp;

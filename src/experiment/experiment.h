@@ -16,6 +16,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "os/node.h"
+#include "recovery/orchestrator.h"
 #include "server/apache_server.h"
 #include "server/db_router.h"
 #include "server/mysql_server.h"
@@ -96,6 +97,12 @@ class Experiment {
   millib::OnlineDetector* online_detector() { return detector_.get(); }
   const millib::OnlineDetector* online_detector() const {
     return detector_.get();
+  }
+  /// Recovery orchestrator; null unless config.recovery.enabled (always
+  /// null under -DNTIER_OBS_DISABLED: no event stream to judge from).
+  recovery::RecoveryOrchestrator* recovery() { return recovery_.get(); }
+  const recovery::RecoveryOrchestrator* recovery() const {
+    return recovery_.get();
   }
   /// Ground truth for scoring the online detector: flush/stall intervals of
   /// every Tomcat, indexed by node.
@@ -193,6 +200,7 @@ class Experiment {
   std::unique_ptr<obs::TelemetryRegistry> telemetry_;
   std::unique_ptr<obs::TelemetryFeed> telemetry_feed_;
   std::unique_ptr<millib::OnlineDetector> detector_;
+  std::unique_ptr<recovery::RecoveryOrchestrator> recovery_;
 
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> apache_cpu_;
   std::vector<std::unique_ptr<metrics::PeriodicSampler>> tomcat_cpu_;

@@ -1,0 +1,82 @@
+#include "experiment/recovery_tracker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ntier::experiment {
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream os;
+  os << "baseline " << baseline_throughput << " completions/window @ "
+     << baseline_latency_ms << " ms; trigger " << trigger_s << " s; ";
+  if (recovered) {
+    os << "recovered in " << time_to_baseline_s << " s ("
+       << recovery_ratio() << "x trigger)";
+  } else {
+    os << "NOT recovered by end of run";
+  }
+  os << "; degraded after clear: " << degraded_windows_after_clear
+     << " windows / " << degraded_after_clear_s << " s";
+  return os.str();
+}
+
+RecoveryReport measure_recovery(const metrics::TimeSeries& rt,
+                                sim::SimTime warmup,
+                                sim::SimTime trigger_start,
+                                sim::SimTime trigger_end, sim::SimTime horizon,
+                                double epsilon, int settle_windows) {
+  RecoveryReport rep;
+  rep.trigger_s = (trigger_end - trigger_start).to_seconds();
+  const double window_s = rt.window().to_seconds();
+  if (window_s <= 0 || rt.num_windows() == 0) return rep;
+
+  const auto index_of = [&](sim::SimTime t) {
+    return static_cast<std::size_t>(t.ns() / rt.window().ns());
+  };
+  const std::size_t base_lo = index_of(warmup);
+  const std::size_t base_hi = index_of(trigger_start);
+  const std::size_t clear_at = index_of(trigger_end);
+  const std::size_t end_at =
+      std::min(rt.num_windows(), index_of(horizon) + 1);
+
+  // Pre-trigger baseline over completion-bearing windows.
+  std::uint64_t base_windows = 0;
+  double tput_sum = 0, lat_sum = 0;
+  for (std::size_t i = base_lo; i < base_hi && i < rt.num_windows(); ++i) {
+    if (rt.count(i) == 0) continue;
+    ++base_windows;
+    tput_sum += static_cast<double>(rt.count(i));
+    lat_sum += rt.avg(i);
+  }
+  if (base_windows == 0) return rep;
+  rep.baseline_throughput = tput_sum / static_cast<double>(base_windows);
+  rep.baseline_latency_ms = lat_sum / static_cast<double>(base_windows);
+
+  const double lat_bar = rep.baseline_latency_ms * (1.0 + epsilon);
+  const double tput_bar = rep.baseline_throughput * (1.0 - epsilon);
+
+  // Scan the post-clear windows for the first settled stretch.
+  int settled_streak = 0;
+  std::size_t settled_from = 0;
+  for (std::size_t i = clear_at; i < end_at; ++i) {
+    const bool settled = rt.count(i) > 0 && rt.avg(i) <= lat_bar &&
+                         static_cast<double>(rt.count(i)) >= tput_bar;
+    if (settled) {
+      if (settled_streak == 0) settled_from = i;
+      if (++settled_streak >= settle_windows && !rep.recovered) {
+        rep.recovered = true;
+        rep.time_to_baseline_s =
+            (rt.window_start(settled_from) - trigger_end).to_seconds();
+        if (rep.time_to_baseline_s < 0) rep.time_to_baseline_s = 0;
+      }
+    } else {
+      settled_streak = 0;
+      ++rep.degraded_windows_after_clear;
+    }
+  }
+  rep.degraded_after_clear_s =
+      static_cast<double>(rep.degraded_windows_after_clear) * window_s;
+  return rep;
+}
+
+}  // namespace ntier::experiment

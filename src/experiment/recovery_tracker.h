@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/time_series.h"
+#include "sim/time.h"
+
+namespace ntier::experiment {
+
+/// Metastability as a first-class measurement: how long after its trigger
+/// cleared did the system take to return to its own pre-trigger steady
+/// state? A stable system recovers in O(queue-drain) time; a metastable one
+/// stays in the degraded basin — sustained by a retry storm, a cache
+/// stampede or pool exhaustion — for many multiples of the trigger
+/// duration, or forever.
+struct RecoveryReport {
+  // Pre-trigger steady state, measured over [warmup, trigger_start).
+  double baseline_throughput = 0;  // completions per window
+  double baseline_latency_ms = 0;  // mean of per-window mean latency
+  double trigger_s = 0;            // how long the trigger itself lasted
+  /// Sim seconds from trigger-clear until the start of the first settled
+  /// stretch (settle_windows consecutive windows within epsilon of
+  /// baseline on BOTH throughput and latency); < 0 when the run ended
+  /// still degraded.
+  double time_to_baseline_s = -1;
+  bool recovered = false;
+  /// Degraded windows after the trigger cleared and their total span — the
+  /// quantity the metastability claim compares against trigger_s.
+  std::uint64_t degraded_windows_after_clear = 0;
+  double degraded_after_clear_s = 0;
+  /// time_to_baseline / trigger duration (the paper-style headline number);
+  /// infinity-ish sentinel (-1) when the run never recovered.
+  double recovery_ratio() const {
+    if (!recovered || trigger_s <= 0) return -1;
+    return time_to_baseline_s / trigger_s;
+  }
+
+  std::string to_string() const;
+};
+
+/// Measure time-to-baseline from the per-window response-time series (its
+/// count is throughput, its avg is latency). Baseline = mean over the
+/// completion-bearing windows of [warmup, trigger_start). A window is
+/// *settled* when its mean latency is within (1 + epsilon) x baseline and
+/// its throughput is above (1 - epsilon) x baseline; recovery is the start
+/// of the first run of `settle_windows` consecutive settled windows at or
+/// after trigger_end. Windows past `horizon` are ignored (the tail of a run
+/// contains the drain, not traffic).
+RecoveryReport measure_recovery(const metrics::TimeSeries& rt,
+                                sim::SimTime warmup,
+                                sim::SimTime trigger_start,
+                                sim::SimTime trigger_end, sim::SimTime horizon,
+                                double epsilon = 0.30, int settle_windows = 10);
+
+}  // namespace ntier::experiment

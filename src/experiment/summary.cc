@@ -50,6 +50,31 @@ RunSummary summarize(Experiment& e) {
   s.sojourn_sheds = ostats.sojourn_sheds;
   s.wasted_work_avoided_ms = ostats.wasted_work_avoided_ms;
   s.shed_retries = e.clients().shed_retries();
+  s.recovery_sheds = ostats.recovery_sheds;
+  for (int i = 0; i < e.num_apaches(); ++i) {
+    s.first_attempts += e.apache(i).first_attempts();
+    s.retries += e.apache(i).retries();
+    s.retry_successes += e.apache(i).retry_successes();
+    s.attempts_abandoned += e.apache(i).attempts_abandoned();
+    s.retries_suppressed += e.apache(i).retries_suppressed();
+  }
+  s.retry_ratio = s.first_attempts > 0
+                      ? static_cast<double>(s.retries) /
+                            static_cast<double>(s.first_attempts)
+                      : 0.0;
+  if (const auto* rec = e.recovery()) {
+    const auto& rs = rec->stats();
+    s.recovery_episodes = rs.episodes;
+    s.recovery_degraded_ticks = rs.degraded_ticks;
+    s.recovery_retry_suppressions = rs.retry_suppressions;
+    s.recovery_hard_sheds = rs.hard_sheds;
+    s.recovery_refill_gates = rs.refill_gates;
+    s.recovery_breaker_resets = rs.breaker_resets;
+  }
+  for (int i = 0; i < e.num_tomcats(); ++i)
+    s.gray_inflated_ops += e.tomcat(i).gray_inflated();
+  for (int i = 0; i < e.num_kv_replicas(); ++i)
+    s.kv_slow_ops += e.kv_replica(i).slow_ops();
   s.mean_rt_ms = log.mean_response_ms();
   s.p50_ms = log.percentile_ms(50);
   s.p99_ms = log.percentile_ms(99);
@@ -76,6 +101,7 @@ RunSummary summarize(Experiment& e) {
     s.cache_coalesced_fills = cs.coalesced_fills;
     s.cache_invalidations_dropped = cs.invalidations_dropped;
     s.cache_hit_ratio = cs.hit_ratio();
+    s.cache_gated_fills = cs.gated_fills;
   }
 
   if (const auto* det = e.online_detector()) {
@@ -169,6 +195,26 @@ void RunSummary::to_json(std::ostream& os) const {
   field(os, "sojourn_sheds", static_cast<double>(sojourn_sheds));
   field(os, "wasted_work_avoided_ms", wasted_work_avoided_ms);
   field(os, "shed_retries", static_cast<double>(shed_retries));
+  field(os, "first_attempts", static_cast<double>(first_attempts));
+  field(os, "retries", static_cast<double>(retries));
+  field(os, "retry_ratio", retry_ratio);
+  field(os, "retry_successes", static_cast<double>(retry_successes));
+  field(os, "attempts_abandoned", static_cast<double>(attempts_abandoned));
+  field(os, "recovery_episodes", static_cast<double>(recovery_episodes));
+  field(os, "recovery_degraded_ticks",
+        static_cast<double>(recovery_degraded_ticks));
+  field(os, "recovery_retry_suppressions",
+        static_cast<double>(recovery_retry_suppressions));
+  field(os, "recovery_hard_sheds", static_cast<double>(recovery_hard_sheds));
+  field(os, "recovery_refill_gates",
+        static_cast<double>(recovery_refill_gates));
+  field(os, "recovery_breaker_resets",
+        static_cast<double>(recovery_breaker_resets));
+  field(os, "retries_suppressed", static_cast<double>(retries_suppressed));
+  field(os, "recovery_sheds", static_cast<double>(recovery_sheds));
+  field(os, "cache_gated_fills", static_cast<double>(cache_gated_fills));
+  field(os, "gray_inflated_ops", static_cast<double>(gray_inflated_ops));
+  field(os, "kv_slow_ops", static_cast<double>(kv_slow_ops));
   field(os, "mean_rt_ms", mean_rt_ms);
   field(os, "p50_ms", p50_ms);
   field(os, "p99_ms", p99_ms);

@@ -47,6 +47,39 @@ struct RunSummary {
   /// Client-side re-attempts after a retriable admission/brownout 503.
   std::uint64_t shed_retries = 0;
 
+  // -- front-end retries (satellite: the storm signal) -----------------------
+  /// Requests dispatched to a worker on their first attempt, retry attempts
+  /// re-dispatched after a failure, and their ratio — the signal the
+  /// recovery orchestrator keys retry suppression on.
+  std::uint64_t first_attempts = 0;
+  std::uint64_t retries = 0;
+  double retry_ratio = 0;
+  std::uint64_t retry_successes = 0;
+  /// In-flight attempts abandoned after retry.attempt_timeout (the backend
+  /// kept burning the demand — the wasted-work side of a retry storm).
+  std::uint64_t attempts_abandoned = 0;
+
+  // -- recovery orchestration (all zero when --recovery is off) --------------
+  std::uint64_t recovery_episodes = 0;
+  std::uint64_t recovery_degraded_ticks = 0;
+  /// Per-reason intervention counters (jobs-invariant).
+  std::uint64_t recovery_retry_suppressions = 0;
+  std::uint64_t recovery_hard_sheds = 0;
+  std::uint64_t recovery_refill_gates = 0;
+  std::uint64_t recovery_breaker_resets = 0;
+  /// Retry attempts dropped while suppression was on, and arrivals answered
+  /// with a fast recovery 503 while hard shedding was on.
+  std::uint64_t retries_suppressed = 0;
+  std::uint64_t recovery_sheds = 0;
+  /// Cache refills that went through the jittered admission gate.
+  std::uint64_t cache_gated_fills = 0;
+
+  // -- gray-fault ground truth (zero unless a gray fault was scheduled) ------
+  /// Tomcat requests served with gray-inflated demand, and KV ops executed
+  /// by a slow-but-alive replica.
+  std::uint64_t gray_inflated_ops = 0;
+  std::uint64_t kv_slow_ops = 0;
+
   double mean_rt_ms = 0;
   double p50_ms = 0;
   double p99_ms = 0;

@@ -101,6 +101,19 @@ void AggregateSummary::finalize() {
       stats([](const RunSummary& r) { return r.cache_coalesced_fills; });
   replay_abandoned =
       stats([](const RunSummary& r) { return r.replay_abandoned; });
+  retries = stats([](const RunSummary& r) { return r.retries; });
+  retry_ratio = stats([](const RunSummary& r) { return r.retry_ratio; });
+  retries_suppressed =
+      stats([](const RunSummary& r) { return r.retries_suppressed; });
+  recovery_episodes =
+      stats([](const RunSummary& r) { return r.recovery_episodes; });
+  recovery_interventions = stats([](const RunSummary& r) {
+    return r.recovery_retry_suppressions + r.recovery_hard_sheds +
+           r.recovery_refill_gates;
+  });
+  recovery_sheds = stats([](const RunSummary& r) { return r.recovery_sheds; });
+  gray_inflated_ops =
+      stats([](const RunSummary& r) { return r.gray_inflated_ops; });
 }
 
 std::string AggregateSummary::merged_rt_sketch() const {
@@ -183,7 +196,14 @@ void AggregateSummary::to_json(std::ostream& os) const {
   json_stats(os, "cache_misses", cache_misses);
   json_stats(os, "cache_invalidations", cache_invalidations);
   json_stats(os, "cache_coalesced_fills", cache_coalesced_fills);
-  json_stats(os, "replay_abandoned", replay_abandoned,
+  json_stats(os, "replay_abandoned", replay_abandoned);
+  json_stats(os, "retries", retries);
+  json_stats(os, "retry_ratio", retry_ratio);
+  json_stats(os, "retries_suppressed", retries_suppressed);
+  json_stats(os, "recovery_episodes", recovery_episodes);
+  json_stats(os, "recovery_interventions", recovery_interventions);
+  json_stats(os, "recovery_sheds", recovery_sheds);
+  json_stats(os, "gray_inflated_ops", gray_inflated_ops,
              /*comma=*/false);
   os << "  },\n";
   os << "  \"pooled\": {\"completed\": " << pooled.count()
@@ -249,6 +269,13 @@ void AggregateSummary::to_csv(std::ostream& os) const {
   row("cache_invalidations", cache_invalidations);
   row("cache_coalesced_fills", cache_coalesced_fills);
   row("replay_abandoned", replay_abandoned);
+  row("retries", retries);
+  row("retry_ratio", retry_ratio);
+  row("retries_suppressed", retries_suppressed);
+  row("recovery_episodes", recovery_episodes);
+  row("recovery_interventions", recovery_interventions);
+  row("recovery_sheds", recovery_sheds);
+  row("gray_inflated_ops", gray_inflated_ops);
 }
 
 void AggregateSummary::per_run_csv(std::ostream& os) const {
@@ -260,7 +287,9 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
         "kv_degraded_ms,online_episodes,online_false_positives,"
         "online_median_detection_ms,trace_kept_fraction,"
         "cache_hits,cache_misses,cache_invalidations,"
-        "cache_coalesced_fills,replay_abandoned\n";
+        "cache_coalesced_fills,replay_abandoned,retries,retry_ratio,"
+        "retries_suppressed,recovery_episodes,recovery_interventions,"
+        "recovery_sheds,gray_inflated_ops\n";
   for (std::size_t i = 0; i < per_run.size(); ++i) {
     const RunSummary& r = per_run[i];
     os << i << ',' << (i < run_seeds.size() ? run_seeds[i] : 0) << ','
@@ -277,7 +306,11 @@ void AggregateSummary::per_run_csv(std::ostream& os) const {
        << r.online_median_detection_ms << ',' << r.trace_kept_fraction << ','
        << r.cache_hits << ',' << r.cache_misses << ','
        << r.cache_invalidations << ',' << r.cache_coalesced_fills << ','
-       << r.replay_abandoned << '\n';
+       << r.replay_abandoned << ',' << r.retries << ',' << r.retry_ratio
+       << ',' << r.retries_suppressed << ',' << r.recovery_episodes << ','
+       << (r.recovery_retry_suppressions + r.recovery_hard_sheds +
+           r.recovery_refill_gates)
+       << ',' << r.recovery_sheds << ',' << r.gray_inflated_ops << '\n';
   }
 }
 

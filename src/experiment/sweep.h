@@ -77,6 +77,13 @@ struct AggregateSummary {
       cache_coalesced_fills;
   // Open-loop trace replay (zero across the board for closed-loop sweeps).
   MetricStats replay_abandoned;
+  // Front-end retries + recovery orchestration (zero across the board when
+  // retries/recovery are off). recovery_interventions pools the per-stage
+  // application counts (suppression + hard shed + refill gate).
+  MetricStats retries, retry_ratio, retries_suppressed;
+  MetricStats recovery_episodes, recovery_interventions, recovery_sheds;
+  // Gray-fault ground truth (zero across the board without gray faults).
+  MetricStats gray_inflated_ops;
 
   /// Every replica's client.rt_ms DDSketch merged in run-index order;
   /// empty string when no run carried a sketch. Because merging ordered

@@ -1,5 +1,7 @@
 #include "kv/replica.h"
 
+#include <algorithm>
+
 namespace ntier::kv {
 
 KvReplica::KvReplica(sim::Simulation& simu, os::Node& node, int id,
@@ -20,8 +22,17 @@ void KvReplica::execute(sim::SimTime demand, std::function<void()> done) {
   }
 }
 
+void KvReplica::set_slow(double severity) {
+  severity = std::clamp(severity, 0.0, 0.99);
+  slow_factor_ = 1.0 / (1.0 - severity);
+}
+
 void KvReplica::start(sim::SimTime demand, std::function<void()> done) {
   ++executing_;
+  if (slow()) {
+    demand = sim::SimTime::from_seconds(demand.to_seconds() * slow_factor_);
+    ++slow_ops_;
+  }
   node_.cpu().submit(demand, [this, done = std::move(done)] {
     on_op_done();
     if (done) done();

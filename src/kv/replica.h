@@ -64,6 +64,16 @@ class KvReplica {
   void restart() { crashed_ = false; }
   bool crashed() const { return crashed_; }
 
+  // -- gray fault: slow-but-alive -------------------------------------------
+  /// Inflate every op's CPU demand by 1/(1-severity) while the replica keeps
+  /// answering (never trips the tier's failure detector). Quorum R masks the
+  /// slow votes from the failure counters; the tail absorbs them.
+  void set_slow(double severity);
+  void clear_slow() { slow_factor_ = 1.0; }
+  bool slow() const { return slow_factor_ > 1.0; }
+  /// Ops executed at inflated demand (chaos accounting).
+  std::uint64_t slow_ops() const { return slow_ops_; }
+
   // -- hinted handoff (hints this replica HOLDS for others) -------------------
   /// Stash a hint; false when the bounded queue is full.
   bool store_hint(const Hint& h);
@@ -89,6 +99,8 @@ class KvReplica {
   int id_;
   KvReplicaConfig config_;
   bool crashed_ = false;
+  double slow_factor_ = 1.0;  // > 1 while a gray slow-replica fault is on
+  std::uint64_t slow_ops_ = 0;
   int executing_ = 0;
   int resident_ = 0;
   std::uint64_t served_ = 0;

@@ -132,15 +132,34 @@ bool LoadBalancer::eligible(WorkerRecord& rec) {
   return false;
 }
 
+void LoadBalancer::open_breaker(WorkerRecord& rec) {
+  const auto& bc = config_.breaker;
+  // Flap hysteresis: a re-trip hot on the heels of the previous one means
+  // the worker passed its readmission checks and failed again on the data
+  // path — hold it out exponentially longer each time.
+  if (rec.breaker_trips > 0 &&
+      sim_.now() <= rec.breaker_last_trip + bc.flap_window) {
+    rec.flap_streak = std::min(rec.flap_streak + 1, bc.max_flap_backoff);
+    ++rec.breaker_flaps;
+  } else {
+    rec.flap_streak = 0;
+  }
+  rec.breaker_last_trip = sim_.now();
+  sim::SimTime dwell = bc.open_duration;
+  for (int k = 0; k < rec.flap_streak; ++k) dwell = dwell + dwell;
+  rec.breaker_open = true;
+  rec.breaker_until = sim_.now() + dwell;
+  rec.half_open_left = 0;
+  rec.open_ok_streak = 0;
+  ++rec.breaker_trips;
+}
+
 void LoadBalancer::mark_failure(WorkerRecord& rec) {
   ++rec.acquire_failures;
   // A failed trial request while half-open re-opens the breaker immediately:
   // the worker claimed recovery and could not back it up.
   if (config_.breaker.enabled && rec.half_open_left > 0) {
-    rec.half_open_left = 0;
-    rec.breaker_open = true;
-    rec.breaker_until = sim_.now() + config_.breaker.open_duration;
-    ++rec.breaker_trips;
+    open_breaker(rec);
     trace_event(obs::EventKind::kBreakerState, rec.tomcat_id, 0, 1.0,
                 /*aux=*/1);  // re-opened from half-open
   }
@@ -272,27 +291,49 @@ void LoadBalancer::report_probe(int idx, bool ok, sim::SimTime rtt) {
 
   if (rec.breaker_open) {
     if (ok && sim_.now() >= rec.breaker_until) {
+      // Readmission gate: require a streak of ok probes past the dwell so a
+      // single lucky probe through a gray-degraded worker cannot re-admit it.
+      if (++rec.open_ok_streak < config_.breaker.reopen_probe_successes)
+        return;
       // Half-open: re-admit the worker for a handful of trial requests.
       // Reset the mod_jk side too — the probe evidence supersedes whatever
       // Busy/Error verdict the stall left behind.
       rec.breaker_open = false;
+      rec.open_ok_streak = 0;
       rec.half_open_left = config_.breaker.half_open_trials;
       rec.state = WorkerState::kAvailable;
       rec.consecutive_failures = 0;
       rec.health = std::max(rec.health, config_.breaker.trip_threshold);
       trace_event(obs::EventKind::kBreakerState, idx, 0, 2.0);  // half-open
     } else if (!ok) {
+      rec.open_ok_streak = 0;
       rec.breaker_until = sim_.now() + config_.breaker.open_duration;
     }
     return;
   }
   if (rec.health < config_.breaker.trip_threshold) {
-    rec.breaker_open = true;
-    rec.breaker_until = sim_.now() + config_.breaker.open_duration;
-    rec.half_open_left = 0;
-    ++rec.breaker_trips;
+    open_breaker(rec);
     trace_event(obs::EventKind::kBreakerState, idx, 0, 1.0);  // open
   }
+}
+
+int LoadBalancer::reset_breakers() {
+  int reset = 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    auto& rec = records_[i];
+    rec.flap_streak = 0;
+    rec.open_ok_streak = 0;
+    if (!rec.breaker_open && rec.half_open_left == 0) continue;
+    rec.breaker_open = false;
+    rec.half_open_left = 0;
+    rec.state = WorkerState::kAvailable;
+    rec.consecutive_failures = 0;
+    rec.health = std::max(rec.health, config_.breaker.trip_threshold);
+    trace_event(obs::EventKind::kBreakerState, static_cast<int>(i), 0,
+                3.0);  // recovery reset
+    ++reset;
+  }
+  return reset;
 }
 
 std::uint64_t LoadBalancer::breaker_trips() const {

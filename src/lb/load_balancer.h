@@ -103,6 +103,12 @@ class LoadBalancer {
   /// `half_open_trials` trial requests.
   void report_probe(int idx, bool ok, sim::SimTime rtt);
 
+  /// Recovery intervention: force-close every open breaker and clear flap
+  /// state. Used at episode step-down (after queues drain) so the fleet
+  /// re-enters rotation together instead of through staggered half-opens.
+  /// Returns the number of breakers that were open or half-open.
+  int reset_breakers();
+
   // -- introspection ---------------------------------------------------------
   int num_workers() const { return static_cast<int>(records_.size()); }
   const WorkerRecord& record(int idx) const {
@@ -165,6 +171,8 @@ class LoadBalancer {
   bool eligible(WorkerRecord& rec);
   void arm_decay();
   void mark_failure(WorkerRecord& rec);
+  /// Trip the breaker with flap-aware dwell escalation.
+  void open_breaker(WorkerRecord& rec);
   void trace_event(obs::EventKind kind, int worker, std::uint64_t request,
                    double value = 0.0, std::int32_t aux = 0);
   void try_next(const std::shared_ptr<AssignContext>& ctx);

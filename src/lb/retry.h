@@ -21,6 +21,14 @@ struct RetryConfig {
   sim::SimTime max_backoff = sim::SimTime::millis(200);
   /// No retry is started once a request has been in the server this long.
   sim::SimTime request_timeout = sim::SimTime::seconds(2);
+  /// Zero = wait for the backend forever (the AJP default). Non-zero =
+  /// abandon an in-flight attempt that has not answered within this long and
+  /// retry it elsewhere — the impatient-client knob that turns a slowdown
+  /// into *wasted work*: the backend keeps burning CPU on the abandoned
+  /// attempt (and the endpoint slot stays busy until it actually answers)
+  /// while the front end adds a duplicate. This is the amplification input
+  /// every retry-storm basin needs.
+  sim::SimTime attempt_timeout = sim::SimTime::zero();
   /// Retry tokens earned per arriving request (0.2 = retries may add at most
   /// ~20% extra load in steady state).
   double budget_ratio = 0.2;

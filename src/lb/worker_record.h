@@ -52,6 +52,13 @@ struct WorkerRecord {
   sim::SimTime breaker_until;
   int half_open_left = 0;
   std::uint64_t breaker_trips = 0;
+  /// Flap hysteresis: a trip within BreakerConfig::flap_window of the last
+  /// one escalates the open dwell (gray faults pass probes, fail data).
+  sim::SimTime breaker_last_trip;
+  int flap_streak = 0;              // consecutive trips inside flap_window
+  std::uint64_t breaker_flaps = 0;  // trips that counted as flaps
+  /// Consecutive ok probes observed while open (readmission gate).
+  int open_ok_streak = 0;
 
   // -- statistics ------------------------------------------------------------
   std::uint64_t assigned = 0;    // endpoint acquired & request sent

@@ -114,7 +114,8 @@ void LatencyBreakdown::print(std::ostream& os) const {
     // sheds (answered 503s) rather than silent overflow drops.
     static constexpr proto::ShedReason kReasons[] = {
         proto::ShedReason::kAdmission, proto::ShedReason::kBrownout,
-        proto::ShedReason::kDeadlineExpired, proto::ShedReason::kSojourn};
+        proto::ShedReason::kDeadlineExpired, proto::ShedReason::kSojourn,
+        proto::ShedReason::kRecovery};
     std::int64_t total_sheds = 0;
     for (auto r : kReasons) total_sheds += sheds(r);
     if (total_sheds > 0) {

@@ -92,7 +92,7 @@ class LatencyBreakdown {
   std::int64_t balancer_errors_ = 0;
   std::array<std::int64_t, kNumSegments> dropped_in_{};
   std::array<std::int64_t, kNumSegments> errored_in_{};
-  std::array<std::array<std::int64_t, 5>, kNumSegments> shed_in_{};
+  std::array<std::array<std::int64_t, 6>, kNumSegments> shed_in_{};
   LatencyHistogram kv_wait_hist_{/*min_value_ms=*/0.01,
                                  /*max_value_ms=*/100'000.0,
                                  /*buckets_per_decade=*/20};

@@ -127,7 +127,7 @@ class RequestLog {
   std::int64_t balancer_errors_ = 0;
   std::int64_t retransmissions_ = 0;
   std::int64_t within_deadline_ = 0;
-  std::array<std::int64_t, 5> sheds_{};  // indexed by proto::ShedReason
+  std::array<std::int64_t, 6> sheds_{};  // indexed by proto::ShedReason
 };
 
 }  // namespace ntier::metrics

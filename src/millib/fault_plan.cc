@@ -19,6 +19,9 @@ std::string to_string(FaultKind k) {
     case FaultKind::kReplicaCrash: return "replica_crash";
     case FaultKind::kShardMigration: return "shard_migration";
     case FaultKind::kInvalidationStorm: return "invalidation_storm";
+    case FaultKind::kGrayDataPath: return "gray_data_path";
+    case FaultKind::kGrayLink: return "gray_link";
+    case FaultKind::kGraySlowReplica: return "gray_slow_replica";
   }
   return "?";
 }
@@ -46,6 +49,14 @@ std::string FaultSpec::to_string() const {
     case FaultKind::kInvalidationStorm:
       os << " severity=" << severity;  // hot-key sweep width multiplier
       break;
+    case FaultKind::kGrayDataPath:
+    case FaultKind::kGraySlowReplica:
+      os << " severity=" << severity;  // slowdown = 1/(1-severity)
+      break;
+    case FaultKind::kGrayLink:
+      os << " extra_latency=" << extra_latency.to_string()
+         << " loss=" << loss_probability;
+      break;
     case FaultKind::kCrash:
     case FaultKind::kReplicaCrash:
       break;
@@ -67,9 +78,9 @@ FaultPlan FaultPlan::randomized(std::uint64_t seed,
                                 int num_workers) {
   if (num_workers <= 0)
     throw std::invalid_argument("FaultPlan: num_workers must be positive");
-  constexpr std::size_t kNumKinds = 9;
+  constexpr std::size_t kNumKinds = 12;
   if (config.kind_weights.size() != kNumKinds)
-    throw std::invalid_argument("FaultPlan: kind_weights must have 9 entries");
+    throw std::invalid_argument("FaultPlan: kind_weights must have 12 entries");
 
   sim::Rng rng(seed);
   FaultPlan plan;
@@ -92,7 +103,8 @@ FaultPlan FaultPlan::randomized(std::uint64_t seed,
       default:
         break;
     }
-    if (spec.kind == FaultKind::kLinkFault) {
+    if (spec.kind == FaultKind::kLinkFault ||
+        spec.kind == FaultKind::kGrayLink) {
       spec.extra_latency = sim::SimTime::from_seconds(
           rng.uniform(0.0, config.max_extra_latency.to_seconds()));
       spec.loss_probability = rng.uniform(0.05, config.max_loss_probability);

@@ -31,6 +31,21 @@ enum class FaultKind : std::uint8_t {
   kInvalidationStorm,  // write burst sweeping the hot key set: periodic
                        // invalidations of the hottest Zipf ranks for the
                        // fault's duration (severity scales the sweep width)
+  // -- gray failures (appended to keep prior numeric values stable) -------------
+  // Differential-observability faults: the data path degrades while the
+  // probe/health path keeps answering at normal speed, so the health prober,
+  // the circuit breaker and prequal's piggybacked load reports all keep
+  // reporting the node healthy.
+  kGrayDataPath,     // one Tomcat's request service time inflated
+                     // 1/(1-severity)x (0.8 => 5x, 0.95 => 20x) while
+                     // probe() and probe_load() answer at pre-fault speed
+                     // and report frozen pre-fault load values
+  kGrayLink,         // partial asymmetric loss + latency on ONE Apache's
+                     // Tomcat link (worker = Apache index); the other
+                     // Apaches' probes still see a healthy backend
+  kGraySlowReplica,  // one KV replica stays alive but executes every op
+                     // 1/(1-severity)x slower; quorum R masks the failure
+                     // counters while the tail absorbs the slow votes
 };
 
 std::string to_string(FaultKind k);
@@ -69,10 +84,11 @@ struct FaultPlanConfig {
   sim::SimTime max_duration = sim::SimTime::millis(1800);
   std::size_t max_faults = 16;
   /// Relative draw weights indexed by FaultKind order; zero disables a kind.
-  /// The KV and cache kinds default to zero (no-ops against a MySQL tier);
-  /// kv/cache chaos scenarios raise them explicitly. Appending zero-weight
-  /// tail entries leaves every existing seed's draw sequence intact.
-  std::vector<double> kind_weights = {3, 1, 2, 2, 1, 1, 0, 0, 0};
+  /// The KV, cache and gray kinds default to zero (no-ops against a MySQL
+  /// tier, or deliberately opt-in for gray-failure studies); scenarios raise
+  /// them explicitly. Appending zero-weight tail entries leaves every
+  /// existing seed's draw sequence intact.
+  std::vector<double> kind_weights = {3, 1, 2, 2, 1, 1, 0, 0, 0, 0, 0, 0};
   double min_severity = 0.6;
   double max_severity = 1.0;
   sim::SimTime max_extra_latency = sim::SimTime::millis(20);

@@ -129,6 +129,8 @@ const char* to_string(EventKind k) {
     case EventKind::kCacheMiss: return "cache_miss";
     case EventKind::kCacheInvalidate: return "cache_invalidate";
     case EventKind::kCacheCoalesced: return "cache_coalesced";
+    case EventKind::kRecoveryEpisode: return "recovery_episode";
+    case EventKind::kRecoveryIntervention: return "recovery_intervention";
   }
   return "?";
 }

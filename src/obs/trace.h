@@ -83,6 +83,13 @@ enum class EventKind : std::uint8_t {
                     // on a full queue)
   kCacheCoalesced,  // miss joined an in-flight fill instead of fetching
                     // (node = cache node, value = waiters on the key)
+  // -- recovery orchestration (appended to keep prior numeric values stable) ----
+  kRecoveryEpisode,      // sustained-degradation episode lifecycle (value =
+                         // degraded-metric ratio vs baseline, aux = +1
+                         // declared / -1 stepped down)
+  kRecoveryIntervention, // one staged intervention toggled (worker =
+                         // RecoveryStage, aux = +1 applied / -1 lifted,
+                         // value = stage-specific level)
 };
 
 const char* to_string(EventKind k);

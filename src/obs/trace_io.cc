@@ -228,7 +228,8 @@ std::string string_field(const std::string& line, const char* key,
 }
 
 std::optional<EventKind> parse_kind(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kCacheCoalesced); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kRecoveryIntervention);
+       ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }

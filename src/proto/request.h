@@ -18,6 +18,7 @@ enum class ShedReason : std::uint8_t {
   kBrownout,         // low-priority work rejected under brownout
   kDeadlineExpired,  // deadline had already passed when the tier looked at it
   kSojourn,          // CoDel sojourn-time drop while draining a standing queue
+  kRecovery,         // recovery orchestrator hard-shedding until queues drain
 };
 
 /// One client interaction travelling through the n-tier system. Demands are
@@ -92,6 +93,7 @@ inline const char* to_string(ShedReason r) {
     case ShedReason::kBrownout: return "brownout";
     case ShedReason::kDeadlineExpired: return "deadline_expired";
     case ShedReason::kSojourn: return "sojourn";
+    case ShedReason::kRecovery: return "recovery";
   }
   return "?";
 }

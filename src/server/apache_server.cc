@@ -77,6 +77,14 @@ ApacheServer::ApacheServer(sim::Simulation& simu, os::Node& node, int id,
 
 bool ApacheServer::try_submit(const proto::RequestPtr& req, RespondFn respond) {
   req->apache_id = static_cast<std::int16_t>(id_);
+  // Recovery hard shedding: a fast 503 at the door, before the backlog or a
+  // worker is touched, so the standing queues the metastable loop built up
+  // can drain. Conservation holds — the client gets a (failed) response.
+  if (recovery_shed_) {
+    shed_unqueued(req, respond, proto::ShedReason::kRecovery,
+                  /*release_limiter=*/false);
+    return true;
+  }
   // Overload control at the accept path: shed already-expired work, then ask
   // the admission limiter. Both answer the connection (a fast 503) instead
   // of silently dropping the SYN, so the client does not retransmit into
@@ -117,6 +125,7 @@ void ApacheServer::start_worker(Work w) {
                     obs::Tier::kApache, id_, workers_busy_ - 1, w.req->id,
                     static_cast<double>(workers_busy_));
   w.req->accepted_at = sim_.now();
+  ++first_attempts_;
   if (retry_budget_) retry_budget_->deposit();
   handle(std::move(w));
 }
@@ -158,19 +167,31 @@ void ApacheServer::dispatch(Work w, int attempt) {
     auto* tomcat = tomcats_[static_cast<std::size_t>(idx)];
     tomcat_link_.deliver(
         sim_, [this, w = std::move(w), tomcat, idx, attempt]() mutable {
+          // One latch per attempt: whichever of {backend response, abandon
+          // timer} fires first owns the request's continuation. A late
+          // answer to an abandoned attempt still releases the endpoint slot
+          // and refreshes the piggybacked load report — the backend really
+          // did the work — but must not finish (or double-finish) the
+          // request the retry path already owns.
+          auto abandoned = std::make_shared<bool>(false);
           const bool accepted = tomcat->submit(
-              w.req, [this, w, idx, attempt](const proto::RequestPtr&) {
-                tomcat_link_.deliver(sim_, [this, w, idx, attempt] {
-                  w.req->backend_done_at = sim_.now();
+              w.req,
+              [this, w, idx, attempt, abandoned](const proto::RequestPtr&) {
+                tomcat_link_.deliver(sim_, [this, w, idx, attempt, abandoned] {
                   balancer_->on_response(idx, w.req);
                   // Piggyback the backend's load report on the response
                   // (Prequal's probe-on-response mode): keeps the pool
                   // millisecond-fresh on workers we are actively using.
+                  // A gray-degraded Tomcat reports frozen pre-fault values
+                  // here too — the deception covers the piggyback path.
                   if (probe_pool_) {
                     auto* t = tomcats_[static_cast<std::size_t>(idx)];
-                    probe_pool_->observe(idx, t->resident(),
-                                         t->latency_ewma_ms());
+                    probe_pool_->observe(idx, t->reported_rif(),
+                                         t->reported_latency_ms());
                   }
+                  if (*abandoned) return;
+                  *abandoned = true;
+                  w.req->backend_done_at = sim_.now();
                   if (attempt > 0) ++retry_successes_;
                   // A backend tier may have shed the request mid-flight
                   // (expired deadline at the Tomcat queue or DbRouter);
@@ -178,6 +199,16 @@ void ApacheServer::dispatch(Work w, int attempt) {
                   finish(w, /*ok=*/w.req->shed == proto::ShedReason::kNone);
                 });
               });
+          if (accepted && config_.retry.enabled &&
+              config_.retry.attempt_timeout > sim::SimTime::zero()) {
+            sim_.after(config_.retry.attempt_timeout,
+                       [this, w, attempt, abandoned]() mutable {
+                         if (*abandoned) return;
+                         *abandoned = true;
+                         ++attempts_abandoned_;
+                         maybe_retry(std::move(w), attempt);
+                       });
+          }
           if (!accepted) {
             balancer_->on_response(idx, w.req);
             if (w.req->shed == proto::ShedReason::kAdmission ||
@@ -201,6 +232,14 @@ void ApacheServer::dispatch(Work w, int attempt) {
 void ApacheServer::maybe_retry(Work w, int attempt) {
   const lb::RetryConfig& rc = config_.retry;
   const bool dead = config_.overload.deadlines && expired(w.req);
+  if (retry_suppressed_ && !dead && rc.enabled &&
+      attempt + 1 < rc.max_attempts) {
+    // Recovery intervention: the retry would have been eligible, but the
+    // orchestrator is breaking the amplification loop. Fail fast instead.
+    ++retries_suppressed_;
+    finish(w, /*ok=*/false);
+    return;
+  }
   if (!dead && rc.enabled && attempt + 1 < rc.max_attempts &&
       sim_.now() - w.req->accepted_at < rc.request_timeout &&
       retry_budget_->try_take()) {
@@ -281,6 +320,7 @@ void ApacheServer::count_shed(const proto::RequestPtr& req,
     case proto::ShedReason::kBrownout: ++ostats_.brownout_sheds; break;
     case proto::ShedReason::kDeadlineExpired: ++ostats_.deadline_sheds; break;
     case proto::ShedReason::kSojourn: ++ostats_.sojourn_sheds; break;
+    case proto::ShedReason::kRecovery: ++ostats_.recovery_sheds; break;
     case proto::ShedReason::kNone: break;
   }
   if (reason == proto::ShedReason::kDeadlineExpired) {

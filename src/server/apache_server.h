@@ -104,6 +104,24 @@ class ApacheServer final : public proto::FrontEnd {
   const lb::RetryBudget* retry_budget() const { return retry_budget_.get(); }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t retry_successes() const { return retry_successes_; }
+  /// In-flight attempts given up on after retry.attempt_timeout (the backend
+  /// kept working; the front end stopped waiting). Wasted-work numerator.
+  std::uint64_t attempts_abandoned() const { return attempts_abandoned_; }
+  /// Requests that entered a worker on their first attempt (denominator of
+  /// the retry-to-first-attempt ratio the recovery orchestrator keys on).
+  std::uint64_t first_attempts() const { return first_attempts_; }
+
+  // -- recovery orchestration hooks (src/recovery) ---------------------------
+  /// Retry suppression: while on, eligible retries are dropped instead of
+  /// re-dispatched (breaking the retry-amplification sustaining loop).
+  void set_retry_suppressed(bool on) { retry_suppressed_ = on; }
+  bool retry_suppressed() const { return retry_suppressed_; }
+  std::uint64_t retries_suppressed() const { return retries_suppressed_; }
+  /// Hard shedding: while on, new arrivals are answered with a fast
+  /// recovery 503 before touching the backlog or a worker, so standing
+  /// queues drain below the orchestrator's watermark.
+  void set_recovery_shed(bool on) { recovery_shed_ = on; }
+  bool recovery_shed() const { return recovery_shed_; }
 
   /// The Apache↔Tomcat link, exposed for fault injection.
   net::Link& tomcat_link() { return tomcat_link_; }
@@ -164,6 +182,11 @@ class ApacheServer final : public proto::FrontEnd {
   std::uint64_t served_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t retry_successes_ = 0;
+  std::uint64_t attempts_abandoned_ = 0;
+  std::uint64_t first_attempts_ = 0;
+  std::uint64_t retries_suppressed_ = 0;
+  bool retry_suppressed_ = false;
+  bool recovery_shed_ = false;
   obs::TraceCollector* trace_events_ = nullptr;
   metrics::GaugeSeries queue_trace_;
 };

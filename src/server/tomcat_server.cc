@@ -1,5 +1,7 @@
 #include "server/tomcat_server.h"
 
+#include <algorithm>
+
 namespace ntier::server {
 
 TomcatServer::TomcatServer(sim::Simulation& simu, os::Node& node, int id,
@@ -75,6 +77,18 @@ bool TomcatServer::submit(const proto::RequestPtr& req, RespondFn respond) {
   return true;
 }
 
+void TomcatServer::set_gray_degraded(double severity) {
+  severity = std::clamp(severity, 0.0, 0.99);
+  // Snapshot the load values the node will keep reporting for the fault's
+  // lifetime. Taken before the factor flips so re-application mid-fault
+  // cannot re-freeze at an already-degraded level.
+  if (!gray_degraded()) {
+    gray_frozen_rif_ = static_cast<double>(resident_);
+    gray_frozen_latency_ms_ = latency_ewma_ms_;
+  }
+  gray_demand_factor_ = 1.0 / (1.0 - severity);
+}
+
 void TomcatServer::probe(std::function<void(bool)> done) {
   if (crashed_) {
     done(false);
@@ -94,7 +108,7 @@ void TomcatServer::probe_load(
   // submitted) is deliberate: a stalled CPU both delays the answer and
   // reports the queue that built up meanwhile.
   node_.cpu().submit(config_.probe_demand, [this, done = std::move(done)] {
-    done(true, static_cast<double>(resident_), latency_ewma_ms_);
+    done(true, reported_rif(), reported_latency_ms());
   });
 }
 
@@ -123,7 +137,13 @@ void TomcatServer::run(Work w) {
   // request-handling path (rendering happens around the queries; collapsing
   // the CPU into one job keeps the same total demand).
   auto req = w.req;
-  node_.cpu().submit(req->tomcat_demand, [this, w = std::move(w)]() mutable {
+  sim::SimTime demand = req->tomcat_demand;
+  if (gray_degraded()) {
+    demand = sim::SimTime::from_seconds(demand.to_seconds() *
+                                        gray_demand_factor_);
+    ++gray_inflated_;
+  }
+  node_.cpu().submit(demand, [this, w = std::move(w)]() mutable {
     // Copy the handle out before the capture moves `w` (argument evaluation
     // order is unspecified).
     auto r = w.req;

@@ -68,6 +68,25 @@ class TomcatServer {
   /// Recent whole-request service latency (submit → response), EWMA in ms.
   double latency_ewma_ms() const { return latency_ewma_ms_; }
 
+  /// Gray fault: inflate real request service time by 1/(1-severity) while
+  /// the probe path stays fast AND the load values reported to probes and
+  /// piggybacked replies are frozen at their pre-fault snapshot — the node
+  /// looks healthy to HealthProber, the circuit breaker and prequal alike.
+  void set_gray_degraded(double severity);
+  void clear_gray_degraded() { gray_demand_factor_ = 1.0; }
+  bool gray_degraded() const { return gray_demand_factor_ > 1.0; }
+  /// Requests whose service ran at inflated demand (chaos accounting).
+  std::uint64_t gray_inflated() const { return gray_inflated_; }
+  /// The requests-in-flight value this node *reports* (frozen under a gray
+  /// fault; truthful otherwise). Probe and piggyback paths must use these,
+  /// never resident()/latency_ewma_ms() directly.
+  double reported_rif() const {
+    return gray_degraded() ? gray_frozen_rif_ : static_cast<double>(resident_);
+  }
+  double reported_latency_ms() const {
+    return gray_degraded() ? gray_frozen_latency_ms_ : latency_ewma_ms_;
+  }
+
   /// Fault injection: a crashed Tomcat refuses new submits (the Apache sees
   /// a connect failure on an endpoint it already holds) while in-flight work
   /// drains normally — preserving request conservation.
@@ -142,6 +161,10 @@ class TomcatServer {
   std::uint64_t refused_while_crashed_ = 0;
   std::uint64_t crashed_accepts_ = 0;
   double latency_ewma_ms_ = 0.0;
+  double gray_demand_factor_ = 1.0;   // > 1 while a gray fault is applied
+  double gray_frozen_rif_ = 0.0;      // reported load, frozen at fault onset
+  double gray_frozen_latency_ms_ = 0.0;
+  std::uint64_t gray_inflated_ = 0;
   obs::TraceCollector* trace_events_ = nullptr;
   metrics::GaugeSeries queue_trace_;
   metrics::TimeSeries completions_;

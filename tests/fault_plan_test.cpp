@@ -53,7 +53,8 @@ TEST(FaultPlan, RandomizedRespectsConfigBounds) {
 
 TEST(FaultPlan, ZeroWeightDisablesAKind) {
   FaultPlanConfig cfg;
-  cfg.kind_weights = {1, 0, 0, 0, 0, 0, 0, 0, 0};  // capacity stalls only
+  // Capacity stalls only (one weight per FaultKind, gray kinds included).
+  cfg.kind_weights = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
   cfg.max_faults = 32;
   const auto plan = FaultPlan::randomized(7, cfg, 4);
   for (const auto& spec : plan.specs)

@@ -264,5 +264,62 @@ TEST(Resilience, CrashRecoveryBeatsStockBlocking) {
   EXPECT_GT(resilient.retry_successes, 0u);
 }
 
+// Flap regression: a worker that passes its probes, gets re-admitted, and
+// immediately fails on the data path again (the gray-failure signature) must
+// not oscillate at the open_duration cadence — each flap doubles the dwell.
+TEST(Breaker, FlapEscalatesOpenDwellExponentially) {
+  Simulation s;
+  auto lb = make_lb(s, breaker_config());  // open 500 ms, 2 half-open trials
+  lb->report_probe(0, false, SimTime::millis(30));
+  lb->report_probe(0, false, SimTime::millis(30));
+  ASSERT_TRUE(lb->record(0).breaker_open);  // first trip: base dwell
+
+  // Readmitted at 600 ms, fails its trial => flap #1, dwell 1000 ms.
+  s.after(SimTime::millis(600), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    ASSERT_FALSE(lb->record(0).breaker_open);
+    lb->report_failure(0);
+    EXPECT_TRUE(lb->record(0).breaker_open);
+    EXPECT_EQ(lb->record(0).breaker_flaps, 1u);
+  });
+  // 600 ms after the re-trip — past the BASE dwell — a good probe must NOT
+  // re-admit: the escalated dwell runs to 1600 ms.
+  s.after(SimTime::millis(1200), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_TRUE(lb->record(0).breaker_open);
+  });
+  // Readmitted after the doubled dwell, flaps again => dwell 2000 ms.
+  s.after(SimTime::millis(1700), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    ASSERT_FALSE(lb->record(0).breaker_open);
+    lb->report_failure(0);
+    EXPECT_TRUE(lb->record(0).breaker_open);
+    EXPECT_EQ(lb->record(0).breaker_flaps, 2u);
+  });
+  s.after(SimTime::millis(2500), [&] {  // 2500 < 1700 + 2000: still out
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_TRUE(lb->record(0).breaker_open);
+  });
+  // The recovery step-down force-closes the breaker and clears the streak.
+  s.after(SimTime::millis(2600), [&] {
+    EXPECT_EQ(lb->reset_breakers(), 1);
+    EXPECT_FALSE(lb->record(0).breaker_open);
+  });
+  // A fresh trip after the flap window has lapsed starts at the base dwell
+  // again (the escalation is hysteresis, not a permanent penalty).
+  s.after(SimTime::millis(5000), [&] {
+    lb->report_probe(0, false, SimTime::millis(30));
+    lb->report_probe(0, false, SimTime::millis(30));
+    EXPECT_TRUE(lb->record(0).breaker_open);
+    EXPECT_EQ(lb->record(0).breaker_flaps, 2u);  // unchanged: not a flap
+  });
+  s.after(SimTime::millis(5600), [&] {
+    lb->report_probe(0, true, SimTime::millis(1));
+    EXPECT_FALSE(lb->record(0).breaker_open);  // base 500 ms dwell elapsed
+  });
+  s.run();
+  EXPECT_EQ(lb->breaker_trips(), 4u);
+}
+
 }  // namespace
 }  // namespace ntier::lb
